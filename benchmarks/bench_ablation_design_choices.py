@@ -1,0 +1,103 @@
+"""Ablations of the paper's design choices (DESIGN.md §4, "beyond" items).
+
+The paper motivates three mechanisms without isolating their cost/benefit;
+these benchmarks quantify each at paper scale (case 2, 118 nodes):
+
+1. **double buffering + asynchronous communication** (Figure 10) vs a
+   synchronous loop;
+2. **data collection** on the Doppler -> weight edges (Figure 6b) vs
+   shipping the raw K-slices;
+3. **replication of pipelines** (the paper's future work / related work
+   [13]) vs growing a single pipeline.
+"""
+
+import pytest
+
+from benchmarks.common import NUM_CPIS, paper_params
+from repro import CASE2, CASE3, ReplicatedSTAPPipeline, STAPPipeline
+
+
+def run_variant(**kwargs):
+    return STAPPipeline(paper_params(), CASE2, num_cpis=NUM_CPIS, **kwargs).run()
+
+
+def test_ablation_double_buffering(benchmark):
+    def collect():
+        return run_variant(), run_variant(double_buffering=False)
+
+    buffered, synchronous = benchmark.pedantic(collect, rounds=1, iterations=1)
+    thr_b = buffered.metrics.measured_throughput
+    thr_s = synchronous.metrics.measured_throughput
+    print()
+    print("Ablation — double buffering (case 2, 118 nodes)")
+    print(f"  buffered   : {thr_b:.4f} CPIs/s")
+    print(f"  synchronous: {thr_s:.4f} CPIs/s  ({100 * (thr_b / thr_s - 1):+.1f}% for overlap)")
+    # Overlap never hurts; the gain is modest because wire time is small
+    # next to compute and the pack passes are CPU work either way.
+    assert thr_b >= thr_s * 0.999
+    benchmark.extra_info["buffered"] = round(thr_b, 4)
+    benchmark.extra_info["synchronous"] = round(thr_s, 4)
+
+
+def test_ablation_data_collection(benchmark):
+    def collect():
+        return run_variant(), run_variant(collect_training=False)
+
+    collected, dumped = benchmark.pedantic(collect, rounds=1, iterations=1)
+    thr_c = collected.metrics.measured_throughput
+    thr_d = dumped.metrics.measured_throughput
+    print()
+    print("Ablation — data collection on Doppler->weight edges (case 2)")
+    print(f"  collected (paper): {thr_c:.4f} CPIs/s, "
+          f"{collected.network_bytes / 2**20:.0f} MiB on the wire")
+    print(f"  raw K-slices     : {thr_d:.4f} CPIs/s, "
+          f"{dumped.network_bytes / 2**20:.0f} MiB on the wire")
+    # "Data collection is performed to avoid sending redundant data and
+    # hence reduces the communication costs" — the byte saving is real:
+    assert dumped.network_bytes > 1.2 * collected.network_bytes
+    # ...but the paper itself warns "the cost of data collection may
+    # become extremely large due to hardware limitations (e.g. high cache
+    # miss ratio)".  With the calibrated 8x strided-copy premium, the
+    # gather costs roughly what the redundant bytes would have: throughput
+    # is a wash (within 10%) at paper scale.  The optimization pays off
+    # when the network, not the copy engine, is the scarce resource.
+    assert thr_c == pytest.approx(thr_d, rel=0.10)
+    benchmark.extra_info["collected_thpt"] = round(thr_c, 4)
+    benchmark.extra_info["dumped_thpt"] = round(thr_d, 4)
+
+
+def test_ablation_replication_vs_scaling(benchmark):
+    """2 x case-3 pipelines (118 nodes) vs 1 x case-2 pipeline (118 nodes).
+
+    Same node budget, two architectures: replication doubles case 3's
+    throughput but keeps its (worse) latency; the single larger pipeline
+    improves both.  This is exactly the throughput-vs-latency dial of
+    Section 4.1.2, now across whole pipelines.
+    """
+
+    def collect():
+        replicated = ReplicatedSTAPPipeline(
+            paper_params(), CASE3, replicas=2, num_cpis=NUM_CPIS - 1
+        ).run_measured()
+        single = STAPPipeline(
+            paper_params(), CASE2, num_cpis=NUM_CPIS
+        ).run_measured()
+        return replicated, single
+
+    replicated, single = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print()
+    print("Ablation — 2 x case3 (2x59 nodes) vs 1 x case2 (118 nodes)")
+    print(f"  replicated: {replicated.summary()}")
+    print(f"  single    : {single.metrics.measured_throughput:.3f} CPIs/s, "
+          f"latency {single.metrics.measured_latency:.4f} s")
+    # Replication ~doubles case 3's throughput (2 x 2.06 = 4.1)...
+    assert replicated.aggregate_throughput == pytest.approx(
+        2 * 2.06, rel=0.2
+    )
+    # ...but its latency stays at case 3's ~1.3 s, double the single
+    # 118-node pipeline's.
+    assert replicated.latency > 1.7 * single.metrics.measured_latency
+    benchmark.extra_info["replicated_thpt"] = round(replicated.aggregate_throughput, 3)
+    benchmark.extra_info["replicated_lat"] = round(replicated.latency, 4)
+    benchmark.extra_info["single_thpt"] = round(single.metrics.measured_throughput, 3)
+    benchmark.extra_info["single_lat"] = round(single.metrics.measured_latency, 4)

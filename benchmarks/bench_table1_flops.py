@@ -1,0 +1,24 @@
+"""Table 1: floating-point operations per task for one CPI.
+
+Paper: 403,552,528 flops total at K=512, J=16, N=128, M=6; hard weight
+computation dominates (197M), CFAR is cheapest (1.7M).  The analytic model
+matches five tasks exactly and the two weight tasks within 0.02%.
+"""
+
+from benchmarks.common import error_pct, paper_params
+from repro.stap import flops
+
+
+def test_table1_flop_counts(benchmark):
+    params = paper_params()
+
+    counts = benchmark(flops.all_task_flops, params)
+
+    print()
+    print("Table 1 — flops to process one CPI")
+    print(flops.flops_table(params))
+    for task, paper_value in flops.PAPER_TABLE1.items():
+        model_value = counts[task]
+        assert abs(error_pct(model_value, paper_value)) < 0.05, task
+        benchmark.extra_info[task] = int(model_value)
+    benchmark.extra_info["paper_total"] = flops.PAPER_TABLE1["total"]

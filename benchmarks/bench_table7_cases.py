@@ -1,0 +1,78 @@
+"""Table 7: full per-task timing for the three processor assignments.
+
+Paper: case 1 (236 nodes), case 2 (118), case 3 (59).  Every task's
+recv/comp/send decomposition plus throughput and latency.  The calibrated
+compute model reproduces the comp column nearly exactly (that column is
+the calibration *source* only for case 1; cases 2 and 3 are predictions),
+and the recv/send columns — emergent from the simulated network and
+pipelining — land within tens of percent.
+"""
+
+import pytest
+
+from benchmarks.common import fmt_row, run_case
+from repro import CASE1, CASE2, CASE3
+from repro.core.assignment import TASK_NAMES
+
+#: Paper's Table 7: case -> task -> (recv, comp, send).
+PAPER_TABLE7 = {
+    "case1": {
+        "doppler": (0.0055, 0.0874, 0.0348),
+        "easy_weight": (0.0493, 0.0913, 0.0003),
+        "hard_weight": (0.0555, 0.0831, 0.0005),
+        "easy_beamform": (0.0658, 0.0708, 0.0021),
+        "hard_beamform": (0.0936, 0.0414, 0.0010),
+        "pulse_compression": (0.0551, 0.0776, 0.0028),
+        "cfar": (0.0910, 0.0434, 0.0),
+    },
+    "case2": {
+        "doppler": (0.0110, 0.1714, 0.0668),
+        "easy_weight": (0.0998, 0.1636, 0.0003),
+        "hard_weight": (0.0979, 0.1636, 0.0005),
+        "easy_beamform": (0.1302, 0.1267, 0.0036),
+        "hard_beamform": (0.1782, 0.0822, 0.0017),
+        "pulse_compression": (0.1027, 0.1543, 0.0051),
+        "cfar": (0.1742, 0.0864, 0.0),
+    },
+    "case3": {
+        "doppler": (0.0219, 0.3509, 0.1296),
+        "easy_weight": (0.1796, 0.3254, 0.0003),
+        "hard_weight": (0.1779, 0.3265, 0.0006),
+        "easy_beamform": (0.2439, 0.2529, 0.0068),
+        "hard_beamform": (0.3370, 0.1636, 0.0032),
+        "pulse_compression": (0.1806, 0.3067, 0.0097),
+        "cfar": (0.3240, 0.1723, 0.0),
+    },
+}
+
+CASES = {"case1": CASE1, "case2": CASE2, "case3": CASE3}
+
+
+@pytest.mark.parametrize("case_key", ["case3", "case2", "case1"])
+def test_table7_case(benchmark, case_key):
+    assignment = CASES[case_key]
+    result = benchmark.pedantic(
+        run_case, args=(assignment,), kwargs={"measured": False},
+        rounds=1, iterations=1,
+    )
+    metrics = result.metrics
+
+    print()
+    print(f"Table 7 — {assignment.name} (measured | paper)")
+    print(fmt_row("task", "recv", "comp", "send", "p.recv", "p.comp", "p.send",
+                  widths=[18, 8, 8, 8, 8, 8, 8]))
+    for task in TASK_NAMES:
+        m = metrics.tasks[task]
+        paper = PAPER_TABLE7[case_key][task]
+        print(fmt_row(task, m.recv, m.comp, m.send, *paper,
+                      widths=[18, 8, 8, 8, 8, 8, 8]))
+        # Computation column: the heart of the calibration/prediction.
+        # (15%: the paper's weight tasks scale slightly super-linearly —
+        # cache effects — where our rate model is exactly linear.)
+        assert m.comp == pytest.approx(paper[1], rel=0.15), task
+    print(f"throughput {metrics.measured_throughput:.4f} CPIs/s, "
+          f"latency (unpaced) {metrics.measured_latency:.4f} s")
+
+    benchmark.extra_info["throughput"] = round(metrics.measured_throughput, 4)
+    for task in TASK_NAMES:
+        benchmark.extra_info[f"{task}.comp"] = round(metrics.tasks[task].comp, 4)

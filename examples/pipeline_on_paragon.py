@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Run the parallel pipelined STAP on the simulated AFRL Paragon.
+
+Reproduces the paper's Table 7: the three processor assignments (236, 118
+and 59 nodes), each printing the per-task recv/comp/send decomposition and
+the measured throughput and latency.  The simulation is the timing model —
+calibrated per-kernel compute rates plus the 2-D-mesh network model — so
+each case takes a few seconds of wall clock.
+
+Run:  python examples/pipeline_on_paragon.py [--quick]
+"""
+
+import argparse
+
+from repro import CASE1, CASE2, CASE3, STAPParams, STAPPipeline
+
+#: Table 8 of the paper ("real" rows), for side-by-side comparison.
+PAPER_TABLE8 = {
+    "case1 (236 nodes)": (7.2659, 0.3622),
+    "case2 (118 nodes)": (3.7959, 0.6805),
+    "case3 (59 nodes)": (1.9898, 1.3530),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run only case 3 (59 nodes) for a fast demo",
+    )
+    parser.add_argument("--cpis", type=int, default=25, help="CPIs per run")
+    args = parser.parse_args()
+
+    params = STAPParams.paper()
+    cases = (CASE3,) if args.quick else (CASE3, CASE2, CASE1)
+    for case in cases:
+        result = STAPPipeline(params, case, num_cpis=args.cpis).run_measured()
+        print(result.metrics.table(f"=== {case.name} ==="))
+        paper_thr, paper_lat = PAPER_TABLE8[case.name]
+        print(f"paper (Table 8 real): throughput {paper_thr:.4f} CPIs/s, "
+              f"latency {paper_lat:.4f} s")
+        print(f"network: {result.network_messages} messages, "
+              f"{result.network_bytes / 2**20:.1f} MiB per run")
+        print()
+
+
+if __name__ == "__main__":
+    main()

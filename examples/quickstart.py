@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: process a synthetic CPI stream through the STAP chain.
+
+Generates airborne-radar data (ground clutter + injected targets + noise),
+runs the sequential PRI-staggered post-Doppler STAP reference, and prints
+the detection reports — showing the adaptive weights finding targets that
+conventional beamforming cannot see under 40 dB clutter.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CPIStream,
+    RadarScenario,
+    STAPParams,
+    SequentialSTAP,
+    TargetTruth,
+)
+from repro.stap.doppler import nearest_bin
+
+
+def main() -> None:
+    # A mid-size configuration (the paper-scale default also works; this
+    # keeps the demo under a second).
+    params = STAPParams.small()
+
+    targets = (
+        # An "easy" Doppler target: well away from the clutter ridge.
+        TargetTruth(range_cell=40, normalized_doppler=0.28, angle_deg=0.0, snr_db=5.0),
+        # A "hard" Doppler target: inside the mainbeam-clutter Doppler
+        # region, detectable only through the angular null STAP places.
+        TargetTruth(range_cell=60, normalized_doppler=0.06, angle_deg=-10.0, snr_db=10.0),
+    )
+    scenario = RadarScenario(clutter_to_noise_db=40.0, targets=targets, seed=7)
+    stream = CPIStream(params, scenario)
+
+    print(f"STAP quickstart: {params.num_ranges} range cells x "
+          f"{params.num_channels} channels x {params.num_pulses} pulses, "
+          f"{params.num_beams} receive beams")
+    print(f"clutter-to-noise ratio: {scenario.clutter_to_noise_db:.0f} dB")
+    for t in targets:
+        bin_n = nearest_bin(params, t.normalized_doppler)
+        kind = "hard" if bin_n in set(params.hard_bins.tolist()) else "easy"
+        print(f"  truth: range {t.range_cell}, Doppler bin {bin_n} ({kind}), "
+              f"angle {t.angle_deg:+.0f} deg, SNR {t.snr_db:+.0f} dB")
+    print()
+
+    stap = SequentialSTAP(params)
+    for cube in stream.take(5):
+        report = stap.process(cube)
+        label = "(quiescent weights — no training yet)" if cube.cpi_index == 0 else ""
+        print(f"CPI {cube.cpi_index}: {len(report)} detections {label}")
+        for det in report.strongest(4):
+            print(f"    bin {det.doppler_bin:3d}  beam {det.beam}  "
+                  f"range {det.range_cell:3d}  margin {det.margin_db:5.1f} dB")
+    print()
+    print("Note CPI 0: under 40 dB clutter the un-adapted beamformer sees "
+          "nothing; one CPI of training later, both targets stand out.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The paper's motivating comparison: round-robin vs parallel pipelining.
+
+The 1996 RTMCARM flight experiments ran whole CPIs on independent nodes in
+round-robin — throughput scales with nodes, but "the latency is limited by
+what can be achieved using one compute node" (2.35 s).  The paper's
+contribution is the parallel pipeline that improves *both*.  This example
+simulates the two architectures across machine sizes.
+
+Run:  python examples/roundrobin_vs_pipeline.py
+"""
+
+from repro import (
+    RoundRobinSTAP,
+    STAPParams,
+    STAPPipeline,
+    ruggedized_paragon,
+)
+from repro.scheduling import AnalyticPipelineModel, optimize_throughput
+
+
+def main() -> None:
+    params = STAPParams.paper()
+
+    print("round-robin (RTMCARM architecture, 3-processor shared-memory nodes):")
+    print(f"{'nodes':>6} {'throughput':>12} {'latency':>10}")
+    for nodes in (5, 10, 25):
+        result = RoundRobinSTAP(params, num_nodes=nodes).run(num_cpis=50)
+        print(f"{nodes:>6} {result.throughput:>9.2f}/s {result.latency:>9.3f} s")
+    print("  -> throughput scales, latency pinned at the single-node time")
+    print("  (paper, Section 2: 'up to 10 CPIs per second ... latency of "
+          "2.35 seconds')")
+    print()
+
+    print("parallel pipeline (this paper), same node budgets:")
+    model = AnalyticPipelineModel(params)
+    print(f"{'nodes':>6} {'throughput':>12} {'latency':>10}   assignment")
+    for budget in (15, 30, 75):
+        assignment = optimize_throughput(model, budget)
+        result = STAPPipeline(params, assignment, num_cpis=15).run_measured()
+        print(
+            f"{budget:>6} {result.metrics.measured_throughput:>9.2f}/s "
+            f"{result.metrics.measured_latency:>9.3f} s   {assignment.counts()}"
+        )
+    print("  -> latency now scales DOWN with nodes as well")
+    print()
+    print("Note the per-node throughput gap: the round-robin code runs")
+    print("hand-tuned shared-memory kernels on node-local data, while the")
+    print("pipeline pays message-passing pack/redistribute overheads — the")
+    print("price of making ONE CPI's latency scale.  A deployment needing")
+    print("both uses multiple pipelines (the paper's future work).")
+
+
+if __name__ == "__main__":
+    main()

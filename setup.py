@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The build box used for this reproduction has no ``wheel`` package available
+offline, so PEP-660 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation`` fall back to ``setup.py develop``.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

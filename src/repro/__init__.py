@@ -1,0 +1,99 @@
+"""repro — parallel pipelined STAP on a simulated parallel computer.
+
+A from-scratch reproduction of *"Design, Implementation and Evaluation of
+Parallel Pipelined STAP on Parallel Computers"* (Choudhary, Liao, Weiner,
+Varshney, Linderman, Linderman, Brown — IPPS 1998): the full PRI-staggered
+post-Doppler STAP signal-processing chain, a discrete-event model of the
+AFRL Intel Paragon it ran on, a simulated MPI, and the parallel pipeline
+system that reproduces the paper's evaluation (Tables 1-10, Figure 11).
+
+Quick start::
+
+    from repro import (STAPParams, RadarScenario, CPIStream,
+                       SequentialSTAP, STAPPipeline, CASE2)
+
+    params = STAPParams.small()
+    stream = CPIStream(params, RadarScenario.standard())
+
+    # Sequential reference
+    reports = SequentialSTAP(params).process_stream(stream.take(8))
+
+    # Parallel pipeline on the simulated Paragon (timing model)
+    result = STAPPipeline(STAPParams.paper(), CASE2, num_cpis=25).run()
+    print(result.metrics.table())
+
+Subpackages: :mod:`repro.des` (discrete-event engine), :mod:`repro.machine`
+(Paragon model), :mod:`repro.mpi` (simulated MPI), :mod:`repro.radar`
+(synthetic CPI data), :mod:`repro.stap` (signal processing),
+:mod:`repro.core` (the parallel pipeline), :mod:`repro.scheduling`
+(processor-assignment optimization).
+"""
+
+from repro.version import __version__
+from repro.errors import (
+    ReproError,
+    SimulationError,
+    DeadlockError,
+    MPIError,
+    MachineError,
+    ConfigurationError,
+    AssignmentError,
+)
+from repro.radar import (
+    STAPParams,
+    RadarScenario,
+    TargetTruth,
+    JammerTruth,
+    CPIDataCube,
+    CPIStream,
+    generate_cpi,
+)
+from repro.stap import SequentialSTAP, DetectionReport
+from repro.machine import Machine, afrl_paragon, ruggedized_paragon
+from repro.core import (
+    Assignment,
+    TASK_NAMES,
+    CASE1,
+    CASE2,
+    CASE3,
+    CASE2_PLUS_DOPPLER,
+    CASE2_PLUS_DOPPLER_PC_CFAR,
+    STAPPipeline,
+    PipelineResult,
+    ReplicatedSTAPPipeline,
+    RoundRobinSTAP,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "MPIError",
+    "MachineError",
+    "ConfigurationError",
+    "AssignmentError",
+    "STAPParams",
+    "RadarScenario",
+    "TargetTruth",
+    "JammerTruth",
+    "CPIDataCube",
+    "CPIStream",
+    "generate_cpi",
+    "SequentialSTAP",
+    "DetectionReport",
+    "Machine",
+    "afrl_paragon",
+    "ruggedized_paragon",
+    "Assignment",
+    "TASK_NAMES",
+    "CASE1",
+    "CASE2",
+    "CASE3",
+    "CASE2_PLUS_DOPPLER",
+    "CASE2_PLUS_DOPPLER_PC_CFAR",
+    "STAPPipeline",
+    "PipelineResult",
+    "ReplicatedSTAPPipeline",
+    "RoundRobinSTAP",
+]

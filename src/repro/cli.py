@@ -1,0 +1,217 @@
+"""Command-line interface: ``repro-stap <command>``.
+
+Subcommands map onto the paper's experiments:
+
+=============  =====================================================
+``flops``      Table 1 — flop counts per task
+``case``       Table 7/8 — run a named assignment on the Paragon model
+``roundrobin`` Section 2 — the RTMCARM baseline
+``optimize``   Section 4.1.2 — processor-assignment search
+``detect``     functional demo — detections from synthetic data
+``timeline``   ASCII Gantt of a pipeline run
+=============  =====================================================
+
+Also runnable as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    CASE1,
+    CASE2,
+    CASE3,
+    CASE2_PLUS_DOPPLER,
+    CASE2_PLUS_DOPPLER_PC_CFAR,
+    CPIStream,
+    RadarScenario,
+    RoundRobinSTAP,
+    STAPParams,
+    STAPPipeline,
+    SequentialSTAP,
+)
+from repro.core.timeline import render_timeline
+from repro.scheduling import (
+    AnalyticPipelineModel,
+    optimize_latency,
+    optimize_throughput,
+)
+from repro.stap import flops
+
+NAMED_CASES = {
+    "case1": CASE1,
+    "case2": CASE2,
+    "case3": CASE3,
+    "table9": CASE2_PLUS_DOPPLER,
+    "table10": CASE2_PLUS_DOPPLER_PC_CFAR,
+}
+
+
+def cmd_flops(_args) -> int:
+    print(flops.flops_table(STAPParams.paper()))
+    return 0
+
+
+def cmd_case(args) -> int:
+    assignment = NAMED_CASES[args.name]
+    pipeline = STAPPipeline(STAPParams.paper(), assignment, num_cpis=args.cpis)
+    result = pipeline.run_measured() if args.measured else pipeline.run()
+    print(result.metrics.table(f"=== {assignment.name} ==="))
+    return 0
+
+
+def cmd_roundrobin(args) -> int:
+    result = RoundRobinSTAP(STAPParams.paper(), num_nodes=args.nodes).run(
+        num_cpis=args.cpis
+    )
+    print(result.summary())
+    print("(paper, Section 2: up to 10 CPIs/s throughput, 2.35 s latency "
+          "on 25 nodes)")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    model = AnalyticPipelineModel(STAPParams.paper())
+    if args.objective == "throughput":
+        assignment = optimize_throughput(model, args.budget)
+    else:
+        assignment = optimize_latency(
+            model, args.budget, min_throughput=args.min_throughput
+        )
+    print(f"assignment for {args.budget} nodes ({args.objective}):")
+    for task, count in zip(
+        ("doppler", "easy_weight", "hard_weight", "easy_beamform",
+         "hard_beamform", "pulse_compression", "cfar"),
+        assignment.counts(),
+    ):
+        print(f"  {task:<18} {count}")
+    print(f"predicted throughput: {model.throughput(assignment):.3f} CPIs/s")
+    print(f"predicted latency:    {model.latency(assignment):.4f} s")
+    return 0
+
+
+def cmd_detect(args) -> int:
+    params = STAPParams.small()
+    scenario = RadarScenario.standard(seed=args.seed)
+    # Keep targets inside the small cube.
+    scenario = scenario.with_targets(
+        [t for t in scenario.targets if t.range_cell < params.num_ranges]
+    )
+    stap = SequentialSTAP(params)
+    for cube in CPIStream(params, scenario).take(args.cpis):
+        report = stap.process(cube)
+        print(f"CPI {cube.cpi_index}: {len(report)} detections")
+        for det in report.strongest(3):
+            print(f"    bin {det.doppler_bin:3d} beam {det.beam} "
+                  f"range {det.range_cell:3d} margin {det.margin_db:5.1f} dB")
+    return 0
+
+
+def cmd_table(args) -> int:
+    from repro.experiments import (
+        run_baseline,
+        run_table1,
+        run_table7,
+        run_table8,
+        run_table9,
+        run_table10,
+    )
+
+    runners = {
+        "1": lambda: run_table1(),
+        "7": lambda: run_table7(args.case, num_cpis=args.cpis),
+        "8": lambda: run_table8(num_cpis=args.cpis),
+        "9": lambda: run_table9(num_cpis=args.cpis),
+        "10": lambda: run_table10(num_cpis=args.cpis),
+        "baseline": lambda: run_baseline(),
+    }
+    result = runners[args.id]()
+    print(result.render())
+    print(f"worst deviation from paper: {result.worst_error_pct():.1f}%")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments import write_report
+
+    path = write_report(args.output, num_cpis=args.cpis, quick=args.quick)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    assignment = NAMED_CASES[args.name]
+    result = STAPPipeline(
+        STAPParams.paper(), assignment, num_cpis=args.cpis
+    ).run()
+    start = max(args.cpis // 2 - 1, 0)
+    print(render_timeline(result.collector, start, min(start + 3, args.cpis),
+                          width=args.width))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stap",
+        description="Parallel pipelined STAP reproduction (IPPS 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("flops", help="Table 1: flop counts").set_defaults(fn=cmd_flops)
+
+    p_case = sub.add_parser("case", help="run a named node assignment")
+    p_case.add_argument("--name", choices=sorted(NAMED_CASES), default="case2")
+    p_case.add_argument("--cpis", type=int, default=25)
+    p_case.add_argument("--measured", action="store_true",
+                        help="two-phase paced latency measurement")
+    p_case.set_defaults(fn=cmd_case)
+
+    p_rr = sub.add_parser("roundrobin", help="Section 2 baseline")
+    p_rr.add_argument("--nodes", type=int, default=25)
+    p_rr.add_argument("--cpis", type=int, default=50)
+    p_rr.set_defaults(fn=cmd_roundrobin)
+
+    p_opt = sub.add_parser("optimize", help="processor-assignment search")
+    p_opt.add_argument("--budget", type=int, required=True)
+    p_opt.add_argument("--objective", choices=("throughput", "latency"),
+                       default="throughput")
+    p_opt.add_argument("--min-throughput", type=float, default=None)
+    p_opt.set_defaults(fn=cmd_optimize)
+
+    p_det = sub.add_parser("detect", help="functional detection demo")
+    p_det.add_argument("--cpis", type=int, default=4)
+    p_det.add_argument("--seed", type=int, default=20260707)
+    p_det.set_defaults(fn=cmd_detect)
+
+    p_tab = sub.add_parser("table", help="reproduce one of the paper's tables")
+    p_tab.add_argument("--id", choices=("1", "7", "8", "9", "10", "baseline"),
+                       required=True)
+    p_tab.add_argument("--case", choices=("case1", "case2", "case3"),
+                       default="case2", help="for table 7")
+    p_tab.add_argument("--cpis", type=int, default=25)
+    p_tab.set_defaults(fn=cmd_table)
+
+    p_rep = sub.add_parser("report", help="write the full reproduction report")
+    p_rep.add_argument("--output", default="reproduction_report.md")
+    p_rep.add_argument("--cpis", type=int, default=25)
+    p_rep.add_argument("--quick", action="store_true",
+                       help="case 3 only, short runs")
+    p_rep.set_defaults(fn=cmd_report)
+
+    p_tl = sub.add_parser("timeline", help="ASCII Gantt of a pipeline run")
+    p_tl.add_argument("--name", choices=sorted(NAMED_CASES), default="case3")
+    p_tl.add_argument("--cpis", type=int, default=10)
+    p_tl.add_argument("--width", type=int, default=100)
+    p_tl.set_defaults(fn=cmd_timeline)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

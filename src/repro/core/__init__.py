@@ -1,0 +1,65 @@
+"""The paper's primary contribution: the parallel pipelined STAP system.
+
+Seven data-parallel tasks — Doppler filtering, easy/hard weight
+computation, easy/hard beamforming, pulse compression, CFAR — run
+concurrently on disjoint processor sets, connected by all-to-all
+personalized inter-task redistribution, with double-buffered asynchronous
+communication and the temporal-dependency trick that keeps weight
+computation off the latency critical path (Figure 4 / Section 5).
+
+Layers:
+
+* :mod:`repro.core.assignment` — processor assignments (the paper's
+  case 1/2/3 and the Table 9/10 variants);
+* :mod:`repro.core.partition` — block partitions of the K and Doppler axes;
+* :mod:`repro.core.redistribution` — per-edge message plans (who sends
+  which subcube to whom, and the pack/unpack stride class);
+* :mod:`repro.core.task` + :mod:`repro.core.tasks` — the Figure 10
+  double-buffered task loop and the seven task implementations, each
+  runnable *functionally* (real NumPy data) or *modeled* (sizes + flops);
+* :mod:`repro.core.pipeline` — wiring, execution, and result collection;
+* :mod:`repro.core.metrics` — per-task timing and the paper's
+  throughput/latency equations (1)-(3);
+* :mod:`repro.core.roundrobin` — the Section 2 RTMCARM round-robin
+  baseline.
+"""
+
+from repro.core.assignment import (
+    Assignment,
+    TASK_NAMES,
+    CASE1,
+    CASE2,
+    CASE3,
+    CASE2_PLUS_DOPPLER,
+    CASE2_PLUS_DOPPLER_PC_CFAR,
+)
+from repro.core.partition import block_ranges, block_of, BlockPartition
+from repro.core.metrics import TaskTiming, TaskMetrics, PipelineMetrics
+from repro.core.pipeline import STAPPipeline, PipelineResult
+from repro.core.replication import ReplicatedSTAPPipeline, ReplicationResult
+from repro.core.roundrobin import RoundRobinSTAP, RoundRobinResult
+from repro.core.verification import VerificationReport, verify_pipeline
+
+__all__ = [
+    "Assignment",
+    "TASK_NAMES",
+    "CASE1",
+    "CASE2",
+    "CASE3",
+    "CASE2_PLUS_DOPPLER",
+    "CASE2_PLUS_DOPPLER_PC_CFAR",
+    "block_ranges",
+    "block_of",
+    "BlockPartition",
+    "TaskTiming",
+    "TaskMetrics",
+    "PipelineMetrics",
+    "STAPPipeline",
+    "PipelineResult",
+    "ReplicatedSTAPPipeline",
+    "ReplicationResult",
+    "RoundRobinSTAP",
+    "RoundRobinResult",
+    "VerificationReport",
+    "verify_pipeline",
+]

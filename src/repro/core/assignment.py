@@ -1,0 +1,138 @@
+"""Processor assignments: how many nodes each task gets.
+
+The seven tasks in pipeline order, with the paper's names::
+
+    0 doppler            Doppler filter processing
+    1 easy_weight        easy weight computation
+    2 hard_weight        hard weight computation
+    3 easy_beamform      easy beamforming (easy BF)
+    4 hard_beamform      hard beamforming (hard BF)
+    5 pulse_compression  pulse compression
+    6 cfar               CFAR processing
+
+The module ships the paper's evaluated assignments: Table 7's three cases
+(236 / 118 / 59 nodes) and the Table 9 / Table 10 what-if variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import AssignmentError
+from repro.radar.parameters import STAPParams
+
+#: Canonical task order (indices match the paper's task numbering).
+TASK_NAMES = (
+    "doppler",
+    "easy_weight",
+    "hard_weight",
+    "easy_beamform",
+    "hard_beamform",
+    "pulse_compression",
+    "cfar",
+)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Nodes per task.  Field names mirror :data:`TASK_NAMES`."""
+
+    doppler: int
+    easy_weight: int
+    hard_weight: int
+    easy_beamform: int
+    hard_beamform: int
+    pulse_compression: int
+    cfar: int
+    name: str = ""
+
+    def __post_init__(self):
+        for task in TASK_NAMES:
+            count = getattr(self, task)
+            if not isinstance(count, int) or count < 1:
+                raise AssignmentError(
+                    f"assignment {self.name or '?'}: task {task} needs a "
+                    f"positive node count, got {count!r}"
+                )
+
+    # -- views ------------------------------------------------------------------
+    def counts(self) -> tuple[int, ...]:
+        """Node counts in task order."""
+        return tuple(getattr(self, task) for task in TASK_NAMES)
+
+    def count_of(self, task: str) -> int:
+        """Node count of a task by name."""
+        if task not in TASK_NAMES:
+            raise AssignmentError(f"unknown task {task!r}")
+        return getattr(self, task)
+
+    @property
+    def total_nodes(self) -> int:
+        """Total nodes used by the pipeline."""
+        return sum(self.counts())
+
+    def rank_offsets(self) -> dict[str, int]:
+        """First world rank of each task (tasks occupy contiguous ranks)."""
+        offsets = {}
+        cursor = 0
+        for task in TASK_NAMES:
+            offsets[task] = cursor
+            cursor += getattr(self, task)
+        return offsets
+
+    def world_ranks(self, task: str) -> range:
+        """World ranks belonging to ``task``."""
+        start = self.rank_offsets()[task]
+        return range(start, start + self.count_of(task))
+
+    def task_of_rank(self, world_rank: int) -> str:
+        """Task owning a world rank."""
+        cursor = 0
+        for task in TASK_NAMES:
+            cursor += getattr(self, task)
+            if world_rank < cursor:
+                return task
+        raise AssignmentError(f"world rank {world_rank} beyond {self.total_nodes} nodes")
+
+    # -- feasibility ---------------------------------------------------------------
+    def validate_for(self, params: STAPParams) -> None:
+        """Raise if any task has more nodes than independent work units.
+
+        Partitioned axes: doppler partitions K range cells; the weight and
+        beamforming tasks partition Doppler bins — except hard weight,
+        which partitions the ``6 * N_hard`` independent (segment, bin)
+        units; pulse compression and CFAR partition all N bins.
+        """
+        limits = {
+            "doppler": params.num_ranges,
+            "easy_weight": params.num_easy_doppler,
+            "hard_weight": params.num_hard_doppler * params.num_segments,
+            "easy_beamform": params.num_easy_doppler,
+            "hard_beamform": params.num_hard_doppler,
+            "pulse_compression": params.num_doppler,
+            "cfar": params.num_doppler,
+        }
+        for task, limit in limits.items():
+            if self.count_of(task) > limit:
+                raise AssignmentError(
+                    f"task {task} assigned {self.count_of(task)} nodes but has "
+                    f"only {limit} independent work units"
+                )
+
+    def with_counts(self, name: str = "", **updates: int) -> "Assignment":
+        """Copy with some task counts changed (Table 9/10-style what-ifs)."""
+        return replace(self, name=name or self.name, **updates)
+
+
+#: Table 7, case 1: 236 nodes.
+CASE1 = Assignment(32, 16, 112, 16, 28, 16, 16, name="case1 (236 nodes)")
+#: Table 7, case 2: 118 nodes.
+CASE2 = Assignment(16, 8, 56, 8, 14, 8, 8, name="case2 (118 nodes)")
+#: Table 7, case 3: 59 nodes.
+CASE3 = Assignment(8, 4, 28, 4, 7, 4, 4, name="case3 (59 nodes)")
+#: Table 9: case 2 plus 4 Doppler nodes (122 nodes).
+CASE2_PLUS_DOPPLER = CASE2.with_counts(name="case2 +4 doppler (122 nodes)", doppler=20)
+#: Table 10: Table 9 plus 8+8 nodes on pulse compression / CFAR (138 nodes).
+CASE2_PLUS_DOPPLER_PC_CFAR = CASE2_PLUS_DOPPLER.with_counts(
+    name="case2 +4 doppler +16 pc/cfar (138 nodes)", pulse_compression=16, cfar=16
+)

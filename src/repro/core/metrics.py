@@ -1,0 +1,186 @@
+"""Timing capture and the paper's performance equations.
+
+Each task records, per pipeline iteration, the Figure 10 decomposition:
+``recv = t1 - t0`` (waiting + unpacking), ``comp = t2 - t1``,
+``send = t3 - t2`` (packing + posting + waiting for the previous
+iteration's sends).  Aggregation follows Section 7: "timing results for
+processing one CPI data were obtained by accumulating the execution time
+for the middle 20 CPIs and then averaging it ... do not include the effect
+of the initial setup (first 3 CPIs) and final iterations (last 2 CPIs)."
+
+The module also implements the paper's equations:
+
+* (1) ``throughput = 1 / max_i T_i``
+* (2) ``latency   = T_0 + max(T_3, T_4) + T_5 + T_6``   (upper bound)
+* (3) ``real latency`` excludes receive-side idle time — measured here
+  directly from event timestamps, as the paper does with its start/stop
+  signal between the first and last tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, Iterable, Optional
+
+from repro.core.assignment import TASK_NAMES
+from repro.errors import ConfigurationError
+
+#: CPIs dropped from the head of a run when aggregating (pipeline fill).
+WARMUP_CPIS = 3
+#: CPIs dropped from the tail (pipeline drain).
+COOLDOWN_CPIS = 2
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """One rank's Figure 10 measurement for one CPI."""
+
+    cpi_index: int
+    rank: int
+    t0: float
+    t1: float
+    t2: float
+    t3: float
+
+    @property
+    def recv(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def comp(self) -> float:
+        return self.t2 - self.t1
+
+    @property
+    def send(self) -> float:
+        return self.t3 - self.t2
+
+    @property
+    def total(self) -> float:
+        return self.t3 - self.t0
+
+
+def steady_state_slice(num_cpis: int) -> tuple[int, int]:
+    """CPI index range [lo, hi) used for averaging (paper's middle CPIs)."""
+    if num_cpis >= WARMUP_CPIS + COOLDOWN_CPIS + 1:
+        return WARMUP_CPIS, num_cpis - COOLDOWN_CPIS
+    # Short test runs: keep everything except the very first iteration when
+    # we can afford to (it carries the pipeline-fill transient).
+    if num_cpis >= 3:
+        return 1, num_cpis
+    return 0, num_cpis
+
+
+@dataclass
+class TaskMetrics:
+    """Aggregated timings of one task (all its ranks)."""
+
+    task: str
+    num_nodes: int
+    recv: float
+    comp: float
+    send: float
+
+    @property
+    def total(self) -> float:
+        return self.recv + self.comp + self.send
+
+    def row(self) -> str:
+        """One Table 7-style line."""
+        return (
+            f"{self.task:<18} {self.num_nodes:>7} {self.recv:>8.4f} "
+            f"{self.comp:>8.4f} {self.send:>8.4f} {self.total:>8.4f}"
+        )
+
+    @classmethod
+    def aggregate(
+        cls,
+        task: str,
+        num_nodes: int,
+        timings: Iterable[TaskTiming],
+        num_cpis: int,
+    ) -> "TaskMetrics":
+        """Average each phase over ranks and steady-state CPIs."""
+        lo, hi = steady_state_slice(num_cpis)
+        kept = [t for t in timings if lo <= t.cpi_index < hi]
+        if not kept:
+            raise ConfigurationError(f"no steady-state timings for task {task}")
+        # Per-CPI mean over ranks first (the phases of one iteration belong
+        # together), then mean over CPIs.
+        by_cpi: Dict[int, list[TaskTiming]] = {}
+        for t in kept:
+            by_cpi.setdefault(t.cpi_index, []).append(t)
+        recvs, comps, sends = [], [], []
+        for cpi_timings in by_cpi.values():
+            recvs.append(mean(t.recv for t in cpi_timings))
+            comps.append(mean(t.comp for t in cpi_timings))
+            sends.append(mean(t.send for t in cpi_timings))
+        return cls(
+            task=task,
+            num_nodes=num_nodes,
+            recv=mean(recvs),
+            comp=mean(comps),
+            send=mean(sends),
+        )
+
+
+@dataclass
+class PipelineMetrics:
+    """Whole-pipeline performance: per-task metrics + measured end-to-end."""
+
+    tasks: Dict[str, TaskMetrics]
+    #: Measured throughput: inverse mean interval between successive report
+    #: completions over the steady-state CPIs (CPIs / second).
+    measured_throughput: float
+    #: Measured latency: mean (report completion - input availability) over
+    #: the steady-state CPIs (seconds).
+    measured_latency: float
+
+    # -- the paper's equations ---------------------------------------------------
+    @property
+    def equation_throughput(self) -> float:
+        """Equation (1): inverse of the largest per-task total time."""
+        slowest = max(m.total for m in self.tasks.values())
+        return 1.0 / slowest if slowest > 0 else float("inf")
+
+    @property
+    def equation_latency(self) -> float:
+        """Equation (2): T0 + max(T3, T4) + T5 + T6 (upper bound)."""
+        t = {name: m.total for name, m in self.tasks.items()}
+        return (
+            t["doppler"]
+            + max(t["easy_beamform"], t["hard_beamform"])
+            + t["pulse_compression"]
+            + t["cfar"]
+        )
+
+    @property
+    def bottleneck_task(self) -> str:
+        """The task doing the most *work* per CPI (limits throughput).
+
+        In pipelined steady state every task's total cycle time equalizes
+        to the pipeline period (waiting absorbs the slack), so the
+        bottleneck is identified by its own work — computation plus
+        packing/sending — not by the total: "one bottleneck task can be
+        seen when its computation time is relatively much larger than the
+        rest of the tasks" (Section 7.3).
+        """
+        return max(self.tasks, key=lambda name: self.tasks[name].comp + self.tasks[name].send)
+
+    def table(self, title: str = "") -> str:
+        """Printable Table 7-style block."""
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(
+            f"{'task':<18} {'# nodes':>7} {'recv':>8} {'comp':>8} {'send':>8} {'total':>8}"
+        )
+        lines.append("-" * 62)
+        for name in TASK_NAMES:
+            if name in self.tasks:
+                lines.append(self.tasks[name].row())
+        lines.append(f"throughput  measured {self.measured_throughput:8.4f} CPIs/s"
+                     f"   equation {self.equation_throughput:8.4f} CPIs/s")
+        lines.append(f"latency     measured {self.measured_latency:8.4f} s"
+                     f"        equation {self.equation_latency:8.4f} s")
+        return "\n".join(lines)

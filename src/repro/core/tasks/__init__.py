@@ -1,0 +1,44 @@
+"""The seven pipeline tasks (Figure 4), one module each.
+
+=====================  ==========================  ========================
+module                 task                        partitioned axis
+=====================  ==========================  ========================
+doppler_task           Doppler filter processing   K range cells (Fig 5)
+easy_weight_task       easy weight computation     easy Doppler bins (Fig 7)
+hard_weight_task       hard weight computation     hard Doppler bins (Fig 7)
+easy_bf_task           easy beamforming            easy Doppler bins
+hard_bf_task           hard beamforming            hard Doppler bins
+pc_task                pulse compression           all Doppler bins (Fig 9)
+cfar_task              CFAR processing             all Doppler bins
+=====================  ==========================  ========================
+"""
+
+from repro.core.tasks.doppler_task import DopplerTask
+from repro.core.tasks.easy_weight_task import EasyWeightTask
+from repro.core.tasks.hard_weight_task import HardWeightTask
+from repro.core.tasks.easy_bf_task import EasyBeamformTask
+from repro.core.tasks.hard_bf_task import HardBeamformTask
+from repro.core.tasks.pc_task import PulseCompressionTask
+from repro.core.tasks.cfar_task import CfarTask
+
+#: Task name -> class, in pipeline order.
+TASK_CLASSES = {
+    "doppler": DopplerTask,
+    "easy_weight": EasyWeightTask,
+    "hard_weight": HardWeightTask,
+    "easy_beamform": EasyBeamformTask,
+    "hard_beamform": HardBeamformTask,
+    "pulse_compression": PulseCompressionTask,
+    "cfar": CfarTask,
+}
+
+__all__ = [
+    "DopplerTask",
+    "EasyWeightTask",
+    "HardWeightTask",
+    "EasyBeamformTask",
+    "HardBeamformTask",
+    "PulseCompressionTask",
+    "CfarTask",
+    "TASK_CLASSES",
+]

@@ -1,0 +1,79 @@
+"""Task 3: easy beamforming.
+
+Each of the P3 processors owns a block of easy Doppler bins.  Per CPI it
+assembles (a) the first-window Doppler data for its bins from every Doppler
+processor — the K-axis all-to-all of Figure 8 — and (b) the weight vectors
+from the easy weight ranks (same bin partitioning, so "no data collection
+or reorganization": contiguous blocks).  It then applies ``y = w^H x`` per
+bin — an (M x J)(J x K) matrix product each — and forwards its rows to
+pulse compression.
+
+The first visit to an azimuth has no trained weights yet (TD(1,3) points
+backward in time); the task falls back to quiescent steering-only weights,
+exactly as the sequential reference does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.core.task import MODELED, PipelineTask
+from repro.stap.flops import easy_beamform_flops
+from repro.stap.lsq import quiescent_weights
+
+
+class EasyBeamformTask(PipelineTask):
+    name = "easy_beamform"
+    kernel = "easy_beamform"
+
+    def __init__(self, *args, steering=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.steering = steering
+        self.bins = self.layout.easy_bf_bins.ids_of(self.local_rank)
+        dop_plan = self.layout.plan("dop_to_easy_bf")
+        self._dop_msgs = {m.src: m for m in dop_plan.recvs_of(self.local_rank)}
+        w_plan = self.layout.plan("easy_weight_to_bf")
+        self._w_msgs = {m.src: m for m in w_plan.recvs_of(self.local_rank)}
+
+    # -- framework hooks ----------------------------------------------------------
+    def recv_edges(self, cpi: int) -> list[str]:
+        edges = ["dop_to_easy_bf"]
+        if cpi >= self.weight_delay:
+            edges.append("easy_weight_to_bf")
+        return edges
+
+    def local_flops(self, cpi: int) -> float:
+        share = len(self.bins) / self.params.num_easy_doppler
+        return easy_beamform_flops(self.params) * share
+
+    # -- work --------------------------------------------------------------------------
+    def compute(self, cpi: int, received: Dict[str, Dict[int, Any]]):
+        plan = self.layout.plan("easy_bf_to_pc")
+        if not self.functional:
+            messages = [(m, MODELED) for m in plan.sends_of(self.local_rank)]
+            return [("easy_bf_to_pc", messages)] if messages else []
+
+        params = self.params
+        J, K, M = params.num_channels, params.num_ranges, params.num_beams
+        dop = np.zeros((len(self.bins), J, K), dtype=complex)
+        for src, payload in received.get("dop_to_easy_bf", {}).items():
+            descriptor = self._dop_msgs[src]
+            dop[:, :, descriptor.k_start : descriptor.k_stop] = payload
+
+        if cpi < self.weight_delay:
+            weights = np.empty((len(self.bins), J, M), dtype=complex)
+            weights[:] = quiescent_weights(self.steering)[None, :, :]
+        else:
+            weights = np.empty((len(self.bins), J, M), dtype=complex)
+            for src, payload in received.get("easy_weight_to_bf", {}).items():
+                descriptor = self._w_msgs[src]
+                weights[descriptor.dst_pos] = payload
+
+        beamformed = np.einsum("njm,njk->nmk", np.conj(weights), dop, optimize=True)
+        messages = [
+            (m, np.ascontiguousarray(beamformed[m.src_pos]))
+            for m in plan.sends_of(self.local_rank)
+        ]
+        return [("easy_bf_to_pc", messages)] if messages else []

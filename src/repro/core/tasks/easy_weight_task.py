@@ -1,0 +1,81 @@
+"""Task 1: easy weight computation.
+
+Each of the P1 processors owns a block of easy Doppler bins (Figure 7),
+assembles the training rows collected by every Doppler processor, maintains
+the three-CPI sliding training history per azimuth, and solves the
+beam-constrained least-squares problem for its bins.  The resulting weight
+vectors are sent to the easy beamforming ranks *for the next visit to this
+azimuth* — the temporal dependency TD(1,3) of Figure 4.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.core.task import MODELED, PipelineTask
+from repro.stap.easy_weights import HISTORY_LENGTH, compute_easy_weights
+from repro.stap.flops import easy_weight_flops
+
+
+class EasyWeightTask(PipelineTask):
+    name = "easy_weight"
+    kernel = "easy_weight"
+
+    def __init__(self, *args, steering=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.steering = steering
+        partition = self.layout.easy_weight_bins
+        self.bins = partition.ids_of(self.local_rank)
+        # azimuth -> deque of (B, c, J) training blocks.
+        self._history: Dict[int, deque] = {}
+        # Per-source message descriptors for assembly.
+        plan = self.layout.plan("dop_to_easy_weight")
+        self._recv_msgs = {m.src: m for m in plan.recvs_of(self.local_rank)}
+
+    # -- framework hooks ----------------------------------------------------------
+    def local_flops(self, cpi: int) -> float:
+        share = len(self.bins) / self.params.num_easy_doppler
+        return easy_weight_flops(self.params) * share
+
+    def send_tag_cpi(self, edge_name: str, cpi: int) -> int:
+        # Weights trained on CPI i are applied to CPI i + revisit period.
+        return cpi + self.weight_delay
+
+    # -- work --------------------------------------------------------------------------
+    def compute(self, cpi: int, received: Dict[str, Dict[int, Any]]):
+        plan = self.layout.plan("easy_weight_to_bf")
+        target_cpi = cpi + self.weight_delay
+        wants_send = target_cpi < self.num_cpis
+        if not self.functional:
+            if not wants_send:
+                return []
+            messages = [(m, MODELED) for m in plan.sends_of(self.local_rank)]
+            return [("easy_weight_to_bf", messages)] if messages else []
+
+        params = self.params
+        azimuth = cpi % self.weight_delay
+        training = np.zeros(
+            (len(self.bins), params.easy_train_per_cpi, params.num_channels),
+            dtype=complex,
+        )
+        for src, parts in received.get("dop_to_easy_weight", {}).items():
+            descriptor = self._recv_msgs[src]
+            (segment,) = descriptor.segments
+            training[:, segment.row_positions, :] = parts[segment.segment]
+        history = self._history.setdefault(azimuth, deque(maxlen=HISTORY_LENGTH))
+        history.append(training)
+
+        if not wants_send:
+            return []
+        stacked = np.concatenate(list(history), axis=1)
+        weights = compute_easy_weights(
+            stacked, self.steering, params.beam_constraint_weight
+        )
+        messages = [
+            (m, np.ascontiguousarray(weights[m.src_pos]))
+            for m in plan.sends_of(self.local_rank)
+        ]
+        return [("easy_weight_to_bf", messages)] if messages else []

@@ -1,0 +1,87 @@
+"""Task 4: hard beamforming.
+
+Like easy beamforming but over both staggered Doppler windows (2J channels)
+and with *per-range-segment* weights: range segment ``s`` of the output row
+uses segment ``s``'s weight vector — six (M x 2J)(2J x K_s) products per
+hard bin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.core.task import MODELED, PipelineTask
+from repro.stap.doppler import stagger_phase
+from repro.stap.flops import hard_beamform_flops
+from repro.stap.lsq import quiescent_weights
+
+
+class HardBeamformTask(PipelineTask):
+    name = "hard_beamform"
+    kernel = "hard_beamform"
+
+    def __init__(self, *args, steering=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.steering = steering
+        self.bins = self.layout.hard_bf_bins.ids_of(self.local_rank)
+        self.phases = stagger_phase(self.params, self.bins)
+        dop_plan = self.layout.plan("dop_to_hard_bf")
+        self._dop_msgs = {m.src: m for m in dop_plan.recvs_of(self.local_rank)}
+        w_plan = self.layout.plan("hard_weight_to_bf")
+        self._w_msgs = {m.src: m for m in w_plan.recvs_of(self.local_rank)}
+
+    # -- framework hooks ----------------------------------------------------------
+    def recv_edges(self, cpi: int) -> list[str]:
+        edges = ["dop_to_hard_bf"]
+        if cpi >= self.weight_delay:
+            edges.append("hard_weight_to_bf")
+        return edges
+
+    def local_flops(self, cpi: int) -> float:
+        share = len(self.bins) / self.params.num_hard_doppler
+        return hard_beamform_flops(self.params) * share
+
+    # -- work --------------------------------------------------------------------------
+    def compute(self, cpi: int, received: Dict[str, Dict[int, Any]]):
+        plan = self.layout.plan("hard_bf_to_pc")
+        if not self.functional:
+            messages = [(m, MODELED) for m in plan.sends_of(self.local_rank)]
+            return [("hard_bf_to_pc", messages)] if messages else []
+
+        params = self.params
+        n2 = params.num_staggered_channels
+        K, M = params.num_ranges, params.num_beams
+        num_segments = params.num_segments
+        dop = np.zeros((len(self.bins), n2, K), dtype=complex)
+        for src, payload in received.get("dop_to_hard_bf", {}).items():
+            descriptor = self._dop_msgs[src]
+            dop[:, :, descriptor.k_start : descriptor.k_stop] = payload
+
+        if cpi < self.weight_delay:
+            weights = np.empty((num_segments, len(self.bins), n2, M), dtype=complex)
+            for idx, phase in enumerate(self.phases):
+                weights[:, idx] = quiescent_weights(
+                    self.steering, copies=2, phases=[1.0, phase]
+                )[None, :, :]
+        else:
+            weights = np.empty((num_segments, len(self.bins), n2, M), dtype=complex)
+            for src, payload in received.get("hard_weight_to_bf", {}).items():
+                descriptor = self._w_msgs[src]
+                # payload: (units, 2J, M) per-(segment, bin) weight vectors.
+                weights[descriptor.segments, descriptor.dst_bin_pos] = payload
+
+        beamformed = np.empty((len(self.bins), M, K), dtype=complex)
+        for seg_idx, seg in enumerate(params.segment_slices):
+            beamformed[:, :, seg] = np.einsum(
+                "njm,njk->nmk",
+                np.conj(weights[seg_idx]),
+                dop[:, :, seg],
+                optimize=True,
+            )
+        messages = [
+            (m, np.ascontiguousarray(beamformed[m.src_pos]))
+            for m in plan.sends_of(self.local_rank)
+        ]
+        return [("hard_bf_to_pc", messages)] if messages else []

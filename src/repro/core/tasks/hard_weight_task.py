@@ -1,0 +1,123 @@
+"""Task 2: hard weight computation.
+
+Each of the P2 processors owns a block of (range segment, hard Doppler bin)
+*units* — one recursive QR per unit, ``6 * N_hard`` units in all.  This
+finer-than-bins decomposition is what lets the paper assign 112 nodes to a
+task with only 56 hard bins (Table 7, case 1).  Per CPI a rank absorbs the
+freshly collected training rows of its units with exponential forgetting,
+re-solves the constrained least-squares problem, and ships the weight
+vectors to the hard beamforming ranks for the next visit to this azimuth —
+TD(2,4) of Figure 4.  This is the most computationally demanding task of
+the pipeline (Table 1), which is why the paper's assignments give it
+roughly half of all nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.core.task import MODELED, PipelineTask
+from repro.stap.doppler import stagger_phase
+from repro.stap.flops import hard_weight_flops
+from repro.stap.lsq import qr_append_rows, solve_constrained
+
+
+class HardWeightTask(PipelineTask):
+    name = "hard_weight"
+    kernel = "hard_weight"
+
+    def __init__(self, *args, steering=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.steering = steering
+        partition = self.layout.hard_weight_units
+        self.units = partition.units_of(self.local_rank)
+        self.unit_bin_pos, self.unit_segments = partition.decompose(self.units)
+        self.unit_bins = partition.bins_of_units(self.units)
+        self.phases = stagger_phase(self.params, self.unit_bins)
+        # azimuth -> (U, 2J, 2J) R factors.
+        self._r_state: Dict[int, np.ndarray] = {}
+        plan = self.layout.plan("dop_to_hard_weight")
+        self._recv_msgs = {m.src: m for m in plan.recvs_of(self.local_rank)}
+        # Map (segment, absolute bin) -> local unit index, for assembly.
+        self._unit_index = {
+            (int(seg), int(bin_id)): idx
+            for idx, (seg, bin_id) in enumerate(zip(self.unit_segments, self.unit_bins))
+        }
+
+    # -- framework hooks ----------------------------------------------------------
+    def local_flops(self, cpi: int) -> float:
+        total_units = self.params.num_hard_doppler * self.params.num_segments
+        return hard_weight_flops(self.params) * len(self.units) / total_units
+
+    def send_tag_cpi(self, edge_name: str, cpi: int) -> int:
+        return cpi + self.weight_delay
+
+    # -- work --------------------------------------------------------------------------
+    def _state_for(self, azimuth: int) -> np.ndarray:
+        state = self._r_state.get(azimuth)
+        if state is None:
+            n2 = self.params.num_staggered_channels
+            state = np.zeros((len(self.units), n2, n2), dtype=complex)
+            self._r_state[azimuth] = state
+        return state
+
+    def compute(self, cpi: int, received: Dict[str, Dict[int, Any]]):
+        plan = self.layout.plan("hard_weight_to_bf")
+        target_cpi = cpi + self.weight_delay
+        wants_send = target_cpi < self.num_cpis
+        if not self.functional:
+            if not wants_send:
+                return []
+            messages = [(m, MODELED) for m in plan.sends_of(self.local_rank)]
+            return [("hard_weight_to_bf", messages)] if messages else []
+
+        params = self.params
+        azimuth = cpi % self.weight_delay
+        training = np.zeros(
+            (
+                len(self.units),
+                params.hard_train_samples,
+                params.num_staggered_channels,
+            ),
+            dtype=complex,
+        )
+        for src, parts in received.get("dop_to_hard_weight", {}).items():
+            descriptor = self._recv_msgs[src]
+            for segment in descriptor.segments:
+                block = parts[segment.segment]  # (|bins|, rows, 2J)
+                for bin_idx, bin_id in enumerate(segment.bin_ids):
+                    unit = self._unit_index[(segment.segment, int(bin_id))]
+                    training[unit][segment.row_positions, :] = block[bin_idx]
+        state = self._state_for(azimuth)
+        forget = params.forgetting_factor
+        for unit in range(len(self.units)):
+            state[unit] = qr_append_rows(state[unit], training[unit], forget=forget)
+
+        if not wants_send:
+            return []
+        # Solve the constrained problem per unit (same maths as
+        # repro.stap.hard_weights.compute_hard_weights, per unit).
+        J = params.num_channels
+        identity = np.eye(J, dtype=complex)
+        bw = params.beam_constraint_weight
+        fw = params.freq_constraint_weight
+        weights = np.empty(
+            (len(self.units), params.num_staggered_channels, params.num_beams),
+            dtype=complex,
+        )
+        for unit in range(len(self.units)):
+            r_data = state[unit]
+            scale = float(np.mean(np.abs(np.diag(r_data))))
+            if scale <= 0.0:
+                scale = 1.0
+            constraint = scale * np.hstack(
+                [bw * identity, fw * np.conj(self.phases[unit]) * identity]
+            )
+            weights[unit] = solve_constrained(r_data, constraint, self.steering)
+        messages = [
+            (m, np.ascontiguousarray(weights[m.src_pos]))
+            for m in plan.sends_of(self.local_rank)
+        ]
+        return [("hard_weight_to_bf", messages)] if messages else []

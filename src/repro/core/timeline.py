@@ -1,0 +1,98 @@
+"""ASCII timeline (Gantt) rendering of a pipeline run.
+
+Turns the Figure 10 instrumentation (per-rank t0..t3 timestamps) into a
+text chart showing how the seven tasks overlap in steady state — the
+pipelining the whole design exists to create.  One row per task (rank 0's
+view), one column per time bucket::
+
+    doppler            rrCCCCCCCCssrrCCCCCCCCss...
+    easy_weight        ....rrrCCCCCCC..rrCCCCCCC...
+
+``r`` = receiving/waiting, ``C`` = computing, ``s`` = packing/sending,
+``.`` = between iterations (should be rare in steady state).
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import TASK_NAMES
+from repro.core.metrics import TaskTiming
+from repro.core.task import Collector
+from repro.errors import ConfigurationError
+
+#: Glyphs per phase.
+RECV, COMP, SEND, IDLE = "r", "C", "s", "."
+
+
+def _rank0_timings(collector: Collector, task: str) -> list[TaskTiming]:
+    return sorted(
+        (t for t in collector.timings.get(task, []) if t.rank == 0),
+        key=lambda t: t.cpi_index,
+    )
+
+
+def render_timeline(
+    collector: Collector,
+    start_cpi: int,
+    end_cpi: int,
+    width: int = 100,
+    tasks=TASK_NAMES,
+) -> str:
+    """Render CPIs ``[start_cpi, end_cpi)`` as an ASCII Gantt chart."""
+    if end_cpi <= start_cpi:
+        raise ConfigurationError("end_cpi must exceed start_cpi")
+    if width < 10:
+        raise ConfigurationError("width must be >= 10 columns")
+
+    # Time window: from the earliest t0 to the latest t3 in the CPI range,
+    # across the selected tasks.
+    t_min, t_max = float("inf"), float("-inf")
+    per_task: dict[str, list[TaskTiming]] = {}
+    for task in tasks:
+        rows = [
+            t
+            for t in _rank0_timings(collector, task)
+            if start_cpi <= t.cpi_index < end_cpi
+        ]
+        if not rows:
+            raise ConfigurationError(f"no rank-0 timings for task {task!r}")
+        per_task[task] = rows
+        t_min = min(t_min, rows[0].t0)
+        t_max = max(t_max, rows[-1].t3)
+    span = max(t_max - t_min, 1e-12)
+
+    def column(time: float) -> int:
+        return min(int((time - t_min) / span * width), width - 1)
+
+    lines = [
+        f"timeline: CPIs {start_cpi}..{end_cpi - 1}, "
+        f"{span:.4f} s across {width} columns "
+        f"(r=recv/wait, C=compute, s=send/pack)",
+    ]
+    name_width = max(len(t) for t in tasks) + 2
+    for task in tasks:
+        row = [IDLE] * width
+        for t in per_task[task]:
+            for lo, hi, glyph in (
+                (t.t0, t.t1, RECV),
+                (t.t1, t.t2, COMP),
+                (t.t2, t.t3, SEND),
+            ):
+                for col in range(column(lo), column(hi) + 1):
+                    row[col] = glyph
+        lines.append(f"{task:<{name_width}}" + "".join(row))
+    return "\n".join(lines)
+
+
+def utilization(collector: Collector, task: str) -> dict[str, float]:
+    """Fractions of a task's cycle spent in each phase (rank 0, all CPIs)."""
+    rows = _rank0_timings(collector, task)
+    if not rows:
+        raise ConfigurationError(f"no rank-0 timings for task {task!r}")
+    total = sum(t.total for t in rows)
+    if total <= 0:
+        return {"recv": 0.0, "comp": 0.0, "send": 0.0}
+    return {
+        "recv": sum(t.recv for t in rows) / total,
+        "comp": sum(t.comp for t in rows) / total,
+        "send": sum(t.send for t in rows) / total,
+    }

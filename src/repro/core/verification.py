@@ -1,0 +1,84 @@
+"""Public verification helper: parallel pipeline vs sequential reference.
+
+Exposes, as library API, the central correctness check the test suite
+applies: for the same CPI stream, the parallel pipelined system must report
+exactly the detections of the sequential reference implementation,
+regardless of the processor assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.assignment import Assignment
+from repro.core.pipeline import STAPPipeline
+from repro.machine import Machine
+from repro.radar.datacube import CPIStream
+from repro.radar.parameters import STAPParams
+from repro.stap.reference import SequentialSTAP
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one pipeline-vs-reference comparison."""
+
+    num_cpis: int
+    matched_cpis: int
+    mismatched_cpis: tuple[int, ...]
+    total_detections: int
+
+    @property
+    def passed(self) -> bool:
+        return not self.mismatched_cpis
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        detail = (
+            f"{self.matched_cpis}/{self.num_cpis} CPIs identical, "
+            f"{self.total_detections} detections"
+        )
+        if self.mismatched_cpis:
+            detail += f"; mismatches at CPIs {list(self.mismatched_cpis)}"
+        return f"{status}: {detail}"
+
+
+def verify_pipeline(
+    params: STAPParams,
+    assignment: Assignment,
+    stream: CPIStream,
+    num_cpis: int = 4,
+    machine: Optional[Machine] = None,
+    azimuth_cycle: int = 1,
+    **pipeline_kwargs,
+) -> VerificationReport:
+    """Run both implementations on ``stream`` and compare detections.
+
+    Extra keyword arguments reach :class:`STAPPipeline` (e.g.
+    ``double_buffering=False`` to verify an ablated configuration still
+    computes the same answers).
+    """
+    reference = SequentialSTAP(params).process_stream(stream.take(num_cpis))
+    result = STAPPipeline(
+        params,
+        assignment,
+        machine=machine,
+        mode="functional",
+        stream=stream,
+        num_cpis=num_cpis,
+        azimuth_cycle=azimuth_cycle,
+        **pipeline_kwargs,
+    ).run()
+
+    mismatches = []
+    detections = 0
+    for ref_report, pipe_report in zip(reference, result.reports):
+        detections += len(pipe_report)
+        if not ref_report.same_detections(pipe_report):
+            mismatches.append(ref_report.cpi_index)
+    return VerificationReport(
+        num_cpis=num_cpis,
+        matched_cpis=num_cpis - len(mismatches),
+        mismatched_cpis=tuple(mismatches),
+        total_detections=detections,
+    )

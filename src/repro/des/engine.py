@@ -1,0 +1,132 @@
+"""The simulator core: a virtual clock and an event queue.
+
+The engine is deliberately minimal — a binary heap keyed on
+``(time, priority, sequence)`` — because the parallel-machine simulation
+above it generates hundreds of thousands of events per run and queue
+throughput dominates.  Determinism is guaranteed by the monotonically
+increasing sequence number: two events at the same time and priority are
+processed in creation order, so repeated runs are bit-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.des.event import Event, Timeout, AllOf, AnyOf
+from repro.des.process import Process
+from repro.errors import DeadlockError, SimulationError
+
+
+class Simulator:
+    """Discrete-event simulator with a floating-point virtual clock (seconds)."""
+
+    def __init__(self, trace: bool = False):
+        self._now: float = 0.0
+        self._queue: list = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+        self._processes: list[Process] = []
+        #: Optional structured tracer (installed by :class:`repro.des.Tracer`).
+        self.tracer = None
+        if trace:
+            from repro.des.monitor import Tracer
+
+            self.tracer = Tracer()
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- event factories -------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event firing when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Spawn ``generator`` as a process; returns the (joinable) process."""
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    # -- running -----------------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        time, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = time
+        if self.tracer is not None:
+            self.tracer.record(time, event)
+        callbacks, event.callbacks = event.callbacks, []
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event.defused:
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, ``until`` seconds, or an event fires.
+
+        Returns the value of ``until`` when it is an event.  Raises
+        :class:`~repro.errors.DeadlockError` if the queue drains while
+        processes are still alive and no ``until`` time was given.
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(f"run(until={stop_time}) is in the past")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value
+            next_time = self._queue[0][0]
+            if stop_time is not None and next_time > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event.value
+            self._raise_deadlock("the awaited event never fired")
+        if stop_time is None:
+            alive = [p for p in self._processes if p.is_alive]
+            if alive:
+                self._raise_deadlock(f"{len(alive)} process(es) still blocked")
+        return None
+
+    def _raise_deadlock(self, reason: str) -> None:
+        waiting = []
+        for proc in self._processes:
+            if proc.is_alive:
+                target = proc.waiting_on
+                waiting.append(f"{proc.name} waiting on {getattr(target, 'name', target)!r}")
+        raise DeadlockError(
+            f"simulation deadlocked at t={self._now:.6f}: {reason}", waiting=waiting
+        )

@@ -1,0 +1,55 @@
+"""Structured tracing for simulations.
+
+A :class:`Tracer` records one :class:`TraceRecord` per processed event.
+Traces are optional (off by default — they roughly double event cost) and
+are used by tests that assert causal ordering and by debugging utilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One processed event: when it fired and what it was."""
+
+    time: float
+    kind: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.6f}] {self.kind:<10} {self.name}"
+
+
+class Tracer:
+    """Accumulates :class:`TraceRecord` entries as the simulation runs."""
+
+    def __init__(self, max_records: int | None = None):
+        self.records: list[TraceRecord] = []
+        self.max_records = max_records
+        self.dropped = 0
+
+    def record(self, time: float, event) -> None:
+        """Called by the engine for each processed event."""
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(
+            TraceRecord(time=time, kind=type(event).__name__, name=event.name or "")
+        )
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def filter(self, substring: str) -> list[TraceRecord]:
+        """Records whose name contains ``substring``."""
+        return [r for r in self.records if substring in r.name]
+
+    def times_are_monotone(self) -> bool:
+        """True iff record times never decrease (a core engine invariant)."""
+        return all(b.time >= a.time for a, b in zip(self.records, self.records[1:]))

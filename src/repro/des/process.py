@@ -1,0 +1,139 @@
+"""Processes: generators driven by the event loop.
+
+A process wraps a Python generator.  Each ``yield``ed object must be an
+:class:`~repro.des.event.Event`; the process suspends until the event is
+processed and then resumes with the event's value (``ev.value`` is sent into
+the generator; failures are thrown in as exceptions, so ordinary
+``try/except`` works inside simulation code).
+
+A :class:`Process` is itself an event: it fires with the generator's return
+value when the generator finishes, which makes "join" simply ``yield proc``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.des.event import Event, PENDING
+from repro.errors import InterruptError, SimulationError
+
+
+class Process(Event):
+    """A running generator inside a :class:`~repro.des.engine.Simulator`."""
+
+    __slots__ = ("generator", "_target", "_interrupting")
+
+    def __init__(self, sim, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget a 'yield' in the process function?"
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        #: The event this process is currently waiting on (None if runnable).
+        self._target: Optional[Event] = None
+        self._interrupting = False
+        # Kick-start the process via an immediately-triggered event so that
+        # the generator body runs inside the event loop, not at spawn time.
+        start = Event(sim, name=f"start:{self.name}")
+        start.callbacks.append(self._resume)
+        start._ok = True
+        start._value = None
+        start._state = "triggered"
+        sim._schedule(start, delay=0.0, priority=1)
+
+    # -- public -------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == PENDING
+
+    @property
+    def waiting_on(self) -> Optional[Event]:
+        """The event the process is currently blocked on (for diagnostics)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.errors.InterruptError` into the process.
+
+        The process stops waiting on its current target (the target event is
+        left to fire on its own; its value is discarded for this process).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        if self._interrupting:
+            return
+        self._interrupting = True
+        interrupt_ev = Event(self.sim, name=f"interrupt:{self.name}")
+        interrupt_ev._ok = False
+        interrupt_ev._value = InterruptError(cause)
+        interrupt_ev._state = "triggered"
+        interrupt_ev.defused = True
+        interrupt_ev.callbacks.append(self._resume_interrupt)
+        self.sim._schedule(interrupt_ev, delay=0.0, priority=0)
+
+    # -- engine hooks ---------------------------------------------------------
+    def _resume_interrupt(self, ev: Event) -> None:
+        self._interrupting = False
+        if not self.is_alive:
+            return
+        # Detach from the current target so its later firing does not resume
+        # us a second time.
+        if self._target is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        self._target = None
+        self._step(ev)
+
+    def _resume(self, ev: Event) -> None:
+        self._target = None
+        self._step(ev)
+
+    def _step(self, ev: Event) -> None:
+        self.sim._active_process = self
+        try:
+            if ev._ok:
+                target = self.generator.send(ev._value)
+            else:
+                ev.defused = True
+                target = self.generator.throw(ev._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+
+        if not isinstance(target, Event):
+            message = (
+                f"process {self.name!r} yielded {target!r}; processes may only "
+                "yield Event instances (Timeout, Request, Process, ...)"
+            )
+            try:
+                self.generator.throw(SimulationError(message))
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as exc:
+                self.fail(exc)
+            return
+        if target.sim is not self.sim:
+            raise SimulationError("yielded an event from a different simulator")
+        self._target = target
+        if target.processed:
+            # Already-completed event: resume on the next scheduling round so
+            # that a tight loop of completed events cannot starve the queue.
+            bounce = Event(self.sim, name=f"bounce:{self.name}")
+            bounce._ok = target._ok
+            bounce._value = target._value
+            bounce._state = "triggered"
+            if not target._ok:
+                target.defused = True
+                bounce.defused = True
+            bounce.callbacks.append(self._resume)
+            self.sim._schedule(bounce, delay=0.0, priority=1)
+            self._target = None
+        else:
+            target.callbacks.append(self._resume)

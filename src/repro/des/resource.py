@@ -1,0 +1,145 @@
+"""Queued resources and stores.
+
+:class:`Resource`
+    A counted semaphore with FIFO service order.  The machine model uses one
+    per NIC injection port, ejection port and (optionally) mesh link, which
+    is how communication *contention* — the effect the paper highlights in
+    Section 7.2 — enters the simulation.
+
+:class:`Store`
+    An unbounded FIFO of Python objects with blocking ``get``.  The MPI layer
+    uses stores for unexpected-message queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.des.event import Event
+from repro.errors import SimulationError
+
+
+class Request(Event):
+    """Event that fires when the resource grants this request."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, sim, resource: "Resource"):
+        super().__init__(sim, name=f"request:{resource.name}")
+        self.resource = resource
+
+
+class Resource:
+    """A counted, FIFO-ordered resource (capacity >= 1).
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield sim.timeout(holding_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Request] = deque()
+        #: Total number of grants ever made (for utilization accounting).
+        self.total_grants = 0
+        #: Cumulative (grant_time - request_time) over all grants.
+        self.total_wait_time = 0.0
+        self._request_times: dict[int, float] = {}
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Request:
+        """Ask for one slot; the returned event fires when granted."""
+        req = Request(self.sim, self)
+        self._request_times[id(req)] = self.sim.now
+        if self._in_use < self.capacity:
+            self._grant(req)
+        else:
+            self._waiters.append(req)
+        return req
+
+    def release(self) -> None:
+        """Return one slot; wakes the oldest waiter, if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+
+    def cancel(self, req: Request) -> bool:
+        """Withdraw a not-yet-granted request.  Returns True if removed."""
+        try:
+            self._waiters.remove(req)
+        except ValueError:
+            return False
+        self._request_times.pop(id(req), None)
+        return True
+
+    def _grant(self, req: Request) -> None:
+        self._in_use += 1
+        self.total_grants += 1
+        t_req = self._request_times.pop(id(req), self.sim.now)
+        self.total_wait_time += self.sim.now - t_req
+        req.succeed(self)
+
+
+class Store:
+    """Unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks (the machine model bounds memory elsewhere);
+    ``get`` returns an event that fires with the next item, optionally the
+    first item matching a ``filter`` predicate (used for MPI tag matching).
+    """
+
+    def __init__(self, sim, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; immediately satisfies a matching waiter if any."""
+        for idx, (event, predicate) in enumerate(self._getters):
+            if predicate is None or predicate(item):
+                del self._getters[idx]
+                event.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Event firing with the next (matching) item."""
+        for idx, item in enumerate(self._items):
+            if predicate is None or predicate(item):
+                del self._items[idx]
+                event = Event(self.sim, name=f"get:{self.name}")
+                event.succeed(item)
+                return event
+        event = Event(self.sim, name=f"get:{self.name}")
+        self._getters.append((event, predicate))
+        return event
+
+    def peek_all(self) -> list:
+        """Snapshot of queued items (diagnostics only)."""
+        return list(self._items)

@@ -1,0 +1,75 @@
+"""Result records: measured-vs-paper value pairs and table containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One quantity: what we measured and what the paper reported."""
+
+    measured: float
+    paper: Optional[float] = None
+    unit: str = ""
+
+    @property
+    def error_pct(self) -> Optional[float]:
+        """Signed percent deviation from the paper (None if no reference)."""
+        if self.paper is None or self.paper == 0:
+            return None
+        return 100.0 * (self.measured - self.paper) / self.paper
+
+    def within(self, rel: float) -> bool:
+        """True if within ``rel`` relative error of the paper's value."""
+        if self.paper is None:
+            return True
+        return abs(self.measured - self.paper) <= rel * abs(self.paper)
+
+    def __str__(self) -> str:
+        if self.paper is None:
+            return f"{self.measured:.4f}{self.unit}"
+        return (
+            f"{self.measured:.4f}{self.unit} "
+            f"(paper {self.paper:.4f}, {self.error_pct:+.1f}%)"
+        )
+
+
+@dataclass
+class TableResult:
+    """A reproduced table: named rows of named comparisons."""
+
+    table_id: str
+    title: str
+    rows: Dict[str, Dict[str, Comparison]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, row: str, column: str, comparison: Comparison) -> None:
+        self.rows.setdefault(row, {})[column] = comparison
+
+    def all_within(self, rel: float) -> bool:
+        """True if every compared cell is within ``rel`` of the paper."""
+        return all(
+            c.within(rel) for cells in self.rows.values() for c in cells.values()
+        )
+
+    def worst_error_pct(self) -> float:
+        """Largest absolute percent deviation across compared cells."""
+        errors = [
+            abs(c.error_pct)
+            for cells in self.rows.values()
+            for c in cells.values()
+            if c.error_pct is not None
+        ]
+        return max(errors, default=0.0)
+
+    def render(self) -> str:
+        """Human-readable block."""
+        lines = [f"{self.table_id} — {self.title}"]
+        for row_name, cells in self.rows.items():
+            parts = [f"{col}: {cmp}" for col, cmp in cells.items()]
+            lines.append(f"  {row_name:<24} " + "; ".join(parts))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

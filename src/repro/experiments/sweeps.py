@@ -1,0 +1,125 @@
+"""Parameter sweeps: Figure 11 series and machine-size scalability curves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.assignment import Assignment, TASK_NAMES
+from repro.core.pipeline import STAPPipeline
+from repro.errors import ConfigurationError
+from repro.machine import Machine
+from repro.radar.parameters import STAPParams
+from repro.scheduling import AnalyticPipelineModel, optimize_throughput
+
+#: Case-2 node counts used for the tasks *not* being swept.
+_BASE_COUNTS = {
+    "doppler": 16,
+    "easy_weight": 8,
+    "hard_weight": 56,
+    "easy_beamform": 8,
+    "hard_beamform": 14,
+    "pulse_compression": 8,
+    "cfar": 8,
+}
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One node count of a Figure 11 series."""
+
+    nodes: int
+    comp_seconds: float
+    speedup: float
+    ideal_speedup: float
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.ideal_speedup
+
+
+def speedup_series(
+    task: str,
+    node_counts: Sequence[int],
+    num_cpis: int = 25,
+    machine: Optional[Machine] = None,
+    params: Optional[STAPParams] = None,
+) -> list[SpeedupPoint]:
+    """Figure 11: computation time & speedup of one task vs its node count.
+
+    The other tasks are held at case-2 counts; each point is one
+    full-pipeline simulation's comp column.
+    """
+    if task not in TASK_NAMES:
+        raise ConfigurationError(f"unknown task {task!r}")
+    if not node_counts:
+        raise ConfigurationError("node_counts must be non-empty")
+    params = params or STAPParams.paper()
+    series = []
+    base_comp = None
+    base_nodes = None
+    for nodes in node_counts:
+        counts = dict(_BASE_COUNTS)
+        counts[task] = nodes
+        result = STAPPipeline(
+            params,
+            Assignment(name=f"sweep-{task}-{nodes}", **counts),
+            machine=machine,
+            num_cpis=num_cpis,
+        ).run()
+        comp = result.metrics.tasks[task].comp
+        if base_comp is None:
+            base_comp, base_nodes = comp, nodes
+        series.append(
+            SpeedupPoint(
+                nodes=nodes,
+                comp_seconds=comp,
+                speedup=base_comp / comp,
+                ideal_speedup=nodes / base_nodes,
+            )
+        )
+    return series
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """One machine size of a scalability curve."""
+
+    budget: int
+    assignment: Assignment
+    throughput: float
+    latency: float
+
+
+def scalability_curve(
+    budgets: Sequence[int],
+    num_cpis: int = 15,
+    machine: Optional[Machine] = None,
+    params: Optional[STAPParams] = None,
+    measured: bool = True,
+) -> list[ScalabilityPoint]:
+    """Throughput/latency vs total node budget, with optimized assignments.
+
+    The generalization of Table 8's three points: for each budget, the
+    greedy optimizer picks the assignment and the simulation measures it.
+    """
+    if not budgets:
+        raise ConfigurationError("budgets must be non-empty")
+    params = params or STAPParams.paper()
+    model = AnalyticPipelineModel(params, machine)
+    curve = []
+    for budget in budgets:
+        assignment = optimize_throughput(model, budget)
+        pipeline = STAPPipeline(
+            params, assignment, machine=machine, num_cpis=num_cpis
+        )
+        result = pipeline.run_measured() if measured else pipeline.run()
+        curve.append(
+            ScalabilityPoint(
+                budget=budget,
+                assignment=assignment,
+                throughput=result.metrics.measured_throughput,
+                latency=result.metrics.measured_latency,
+            )
+        )
+    return curve

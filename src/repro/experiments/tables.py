@@ -1,0 +1,206 @@
+"""Runners for the paper's Tables 1 and 7-10 plus the Section 2 baseline.
+
+All runners accept ``num_cpis`` (default 25, the paper's run length) and an
+optional machine override, and return :class:`TableResult` objects pairing
+measured values with the paper's published ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.assignment import (
+    Assignment,
+    CASE1,
+    CASE2,
+    CASE3,
+    CASE2_PLUS_DOPPLER,
+    CASE2_PLUS_DOPPLER_PC_CFAR,
+    TASK_NAMES,
+)
+from repro.core.pipeline import STAPPipeline
+from repro.core.roundrobin import RoundRobinSTAP
+from repro.experiments.records import Comparison, TableResult
+from repro.machine import Machine
+from repro.radar.parameters import STAPParams
+from repro.stap import flops as flops_mod
+
+#: The named assignments of the evaluation section.
+PAPER_CASES: dict[str, Assignment] = {
+    "case1": CASE1,
+    "case2": CASE2,
+    "case3": CASE3,
+    "table9": CASE2_PLUS_DOPPLER,
+    "table10": CASE2_PLUS_DOPPLER_PC_CFAR,
+}
+
+#: Table 8 "real" rows.
+_PAPER_TABLE8 = {
+    "case1": (7.2659, 0.3622),
+    "case2": (3.7959, 0.6805),
+    "case3": (1.9898, 1.3530),
+}
+
+#: Table 7 (recv, comp, send) per case and task.
+_PAPER_TABLE7 = {
+    "case1": {
+        "doppler": (0.0055, 0.0874, 0.0348),
+        "easy_weight": (0.0493, 0.0913, 0.0003),
+        "hard_weight": (0.0555, 0.0831, 0.0005),
+        "easy_beamform": (0.0658, 0.0708, 0.0021),
+        "hard_beamform": (0.0936, 0.0414, 0.0010),
+        "pulse_compression": (0.0551, 0.0776, 0.0028),
+        "cfar": (0.0910, 0.0434, None),
+    },
+    "case2": {
+        "doppler": (0.0110, 0.1714, 0.0668),
+        "easy_weight": (0.0998, 0.1636, 0.0003),
+        "hard_weight": (0.0979, 0.1636, 0.0005),
+        "easy_beamform": (0.1302, 0.1267, 0.0036),
+        "hard_beamform": (0.1782, 0.0822, 0.0017),
+        "pulse_compression": (0.1027, 0.1543, 0.0051),
+        "cfar": (0.1742, 0.0864, None),
+    },
+    "case3": {
+        "doppler": (0.0219, 0.3509, 0.1296),
+        "easy_weight": (0.1796, 0.3254, 0.0003),
+        "hard_weight": (0.1779, 0.3265, 0.0006),
+        "easy_beamform": (0.2439, 0.2529, 0.0068),
+        "hard_beamform": (0.3370, 0.1636, 0.0032),
+        "pulse_compression": (0.1806, 0.3067, 0.0097),
+        "cfar": (0.3240, 0.1723, None),
+    },
+}
+
+
+def run_table1(params: Optional[STAPParams] = None) -> TableResult:
+    """Table 1: analytic flop counts vs the paper's."""
+    params = params or STAPParams.paper()
+    counts = flops_mod.all_task_flops(params)
+    result = TableResult("Table 1", "flops to process one CPI")
+    for task, paper_value in flops_mod.PAPER_TABLE1.items():
+        result.add(
+            task, "flops", Comparison(measured=counts[task], paper=paper_value)
+        )
+    return result
+
+
+def _run_pipeline(
+    assignment: Assignment,
+    num_cpis: int,
+    machine: Optional[Machine],
+    measured: bool,
+):
+    pipeline = STAPPipeline(
+        STAPParams.paper(), assignment, machine=machine, num_cpis=num_cpis
+    )
+    return pipeline.run_measured() if measured else pipeline.run()
+
+
+def run_table7(
+    case: str, num_cpis: int = 25, machine: Optional[Machine] = None
+) -> TableResult:
+    """Table 7: per-task recv/comp/send for one of the three cases."""
+    if case not in _PAPER_TABLE7:
+        raise KeyError(f"case must be one of {sorted(_PAPER_TABLE7)}, got {case!r}")
+    assignment = PAPER_CASES[case]
+    run = _run_pipeline(assignment, num_cpis, machine, measured=False)
+    result = TableResult("Table 7", f"per-task timing, {assignment.name}")
+    for task in TASK_NAMES:
+        metrics = run.metrics.tasks[task]
+        p_recv, p_comp, p_send = _PAPER_TABLE7[case][task]
+        result.add(task, "recv", Comparison(metrics.recv, p_recv, " s"))
+        result.add(task, "comp", Comparison(metrics.comp, p_comp, " s"))
+        result.add(task, "send", Comparison(metrics.send, p_send, " s"))
+    result.add(
+        "throughput", "CPIs/s",
+        Comparison(run.metrics.measured_throughput, _PAPER_TABLE8[case][0]),
+    )
+    return result
+
+
+def run_table8(
+    num_cpis: int = 25,
+    machine: Optional[Machine] = None,
+    cases=("case1", "case2", "case3"),
+) -> TableResult:
+    """Table 8: throughput and latency across the machine sizes."""
+    result = TableResult("Table 8", "throughput and latency vs machine size")
+    for case in cases:
+        run = _run_pipeline(PAPER_CASES[case], num_cpis, machine, measured=True)
+        paper_thr, paper_lat = _PAPER_TABLE8[case]
+        result.add(
+            case, "throughput",
+            Comparison(run.metrics.measured_throughput, paper_thr, " CPIs/s"),
+        )
+        result.add(
+            case, "latency",
+            Comparison(run.metrics.measured_latency, paper_lat, " s"),
+        )
+        result.add(
+            case, "eq_latency",
+            Comparison(run.metrics.equation_latency, None, " s"),
+        )
+    result.notes.append("equation (2) latency is the paper's upper bound")
+    return result
+
+
+def run_table9(num_cpis: int = 25, machine: Optional[Machine] = None) -> TableResult:
+    """Table 9: +4 Doppler nodes on case 2."""
+    before = _run_pipeline(CASE2, num_cpis, machine, measured=True)
+    after = _run_pipeline(CASE2_PLUS_DOPPLER, num_cpis, machine, measured=True)
+    result = TableResult("Table 9", "case 2 + 4 Doppler nodes (118 -> 122)")
+    thr_gain = (
+        after.metrics.measured_throughput / before.metrics.measured_throughput - 1
+    )
+    lat_gain = 1 - after.metrics.measured_latency / before.metrics.measured_latency
+    result.add("throughput gain", "%", Comparison(100 * thr_gain, 32.0))
+    result.add("latency gain", "%", Comparison(100 * lat_gain, 19.0))
+    for task in TASK_NAMES:
+        if task == "doppler":
+            continue
+        result.add(
+            task, "recv delta",
+            Comparison(
+                after.metrics.tasks[task].recv - before.metrics.tasks[task].recv,
+                None, " s",
+            ),
+        )
+    result.notes.append(
+        "secondary effect: successor recv deltas should be negative"
+    )
+    return result
+
+
+def run_table10(num_cpis: int = 25, machine: Optional[Machine] = None) -> TableResult:
+    """Table 10: +16 pulse compression / CFAR nodes on the Table 9 config."""
+    before = _run_pipeline(CASE2_PLUS_DOPPLER, num_cpis, machine, measured=True)
+    after = _run_pipeline(
+        CASE2_PLUS_DOPPLER_PC_CFAR, num_cpis, machine, measured=True
+    )
+    result = TableResult("Table 10", "+16 PC/CFAR nodes (122 -> 138)")
+    result.add(
+        "throughput ratio", "x",
+        Comparison(
+            after.metrics.measured_throughput / before.metrics.measured_throughput,
+            4.9052 / 5.0213,
+        ),
+    )
+    result.add(
+        "latency gain", "%",
+        Comparison(
+            100 * (1 - after.metrics.measured_latency / before.metrics.measured_latency),
+            23.0,
+        ),
+    )
+    result.notes.append("throughput flat: the weight tasks are the bottleneck")
+    return result
+
+
+def run_baseline(num_cpis: int = 50, num_nodes: int = 25) -> TableResult:
+    """Section 2: the RTMCARM round-robin system."""
+    run = RoundRobinSTAP(STAPParams.paper(), num_nodes=num_nodes).run(num_cpis)
+    result = TableResult("Section 2", f"round-robin baseline, {num_nodes} nodes")
+    result.add("throughput", "CPIs/s", Comparison(run.throughput, 10.0))
+    result.add("latency", "s", Comparison(run.latency, 2.35))
+    return result

@@ -1,0 +1,47 @@
+"""Machine model of a distributed-memory parallel computer.
+
+This package models the hardware substrate the paper ran on — the Intel
+Paragon XP/S at the Air Force Research Laboratory, Rome NY — at the level of
+detail the paper's evaluation is sensitive to:
+
+* a 2-D mesh interconnect with dimension-ordered (XY) routing
+  (:mod:`repro.machine.mesh`),
+* LogGP-style message costs (35.3 µs startup, 6.53 ns/byte) plus NIC
+  injection/ejection serialization and optional per-link contention
+  (:mod:`repro.machine.network`),
+* compute nodes with per-kernel effective flop rates and a strided-copy
+  (pack/unpack) cost model standing in for i860 cache behaviour
+  (:mod:`repro.machine.node`),
+* ready-made configurations for the 321-node AFRL machine and the
+  25-node ruggedized in-flight machine (:mod:`repro.machine.paragon`).
+"""
+
+from repro.machine.cost_model import NetworkCostModel, PackingCostModel
+from repro.machine.node import ComputeRateTable, NodeModel
+from repro.machine.mesh import Mesh2D, Link
+from repro.machine.network import Network, ContentionMode
+from repro.machine.paragon import (
+    Machine,
+    afrl_paragon,
+    ruggedized_paragon,
+    PARAGON_NETWORK,
+    PARAGON_RATES,
+    PARAGON_PACKING,
+)
+
+__all__ = [
+    "NetworkCostModel",
+    "PackingCostModel",
+    "ComputeRateTable",
+    "NodeModel",
+    "Mesh2D",
+    "Link",
+    "Network",
+    "ContentionMode",
+    "Machine",
+    "afrl_paragon",
+    "ruggedized_paragon",
+    "PARAGON_NETWORK",
+    "PARAGON_RATES",
+    "PARAGON_PACKING",
+]

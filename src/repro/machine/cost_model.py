@@ -1,0 +1,88 @@
+"""Cost-model parameter bundles for the network and for memory copies.
+
+The numbers here come from two sources:
+
+* the paper's own micro-measurements of the Paragon interconnect
+  (Section 6): message startup 35.3 µs, point-to-point transfer
+  6.53 ns/byte;
+* calibration of pack/unpack (data *collection* and *reorganization*,
+  Sections 5.1–5.3) against the send columns of Tables 2–6, which bundle
+  the strided-copy cost into the visible send time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NetworkCostModel:
+    """LogGP-flavoured parameters of the interconnect.
+
+    Attributes
+    ----------
+    startup_s:
+        Fixed per-message software overhead (the paper: 35.3 µs).
+    per_byte_s:
+        Inverse link bandwidth for the payload (the paper: 6.53 ns/byte).
+    per_hop_s:
+        Additional latency per mesh hop (wormhole routing header latency;
+        small on the Paragon — ~40 ns per hop).
+    """
+
+    startup_s: float = 35.3e-6
+    per_byte_s: float = 6.53e-9
+    per_hop_s: float = 40e-9
+
+    def __post_init__(self):
+        for field in ("startup_s", "per_byte_s", "per_hop_s"):
+            if getattr(self, field) < 0:
+                raise ConfigurationError(f"{field} must be non-negative")
+
+    def point_to_point(self, nbytes: int, hops: int = 1) -> float:
+        """Uncontended transfer time for one message."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative message size: {nbytes}")
+        return self.startup_s + self.per_byte_s * nbytes + self.per_hop_s * max(hops, 0)
+
+    def occupancy(self, nbytes: int) -> float:
+        """Time a message occupies an injection/ejection port (serialization)."""
+        return self.per_byte_s * max(nbytes, 0)
+
+
+@dataclass(frozen=True)
+class PackingCostModel:
+    """Cost of data collection / reorganization around a message.
+
+    The paper stresses that gathering non-contiguous subarrays into send
+    buffers ("data collection") and transposing cubes ("data
+    reorganization", Figure 8) can dominate communication because of i860
+    cache misses.  We model a copy as::
+
+        time = bytes * (contiguous_per_byte  if unit-stride
+                        strided_per_byte     otherwise)
+
+    Attributes
+    ----------
+    contiguous_per_byte_s:
+        Cost of a unit-stride memcpy-like pass.
+    strided_per_byte_s:
+        Cost of a cache-hostile strided gather/scatter pass (calibrated
+        ~8x the contiguous cost, matching the send columns of Table 2).
+    """
+
+    contiguous_per_byte_s: float = 8.0e-9
+    strided_per_byte_s: float = 62.0e-9
+
+    def __post_init__(self):
+        if self.contiguous_per_byte_s < 0 or self.strided_per_byte_s < 0:
+            raise ConfigurationError("packing costs must be non-negative")
+
+    def copy_time(self, nbytes: int, strided: bool) -> float:
+        """Time to copy ``nbytes`` once, strided or contiguous."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative copy size: {nbytes}")
+        rate = self.strided_per_byte_s if strided else self.contiguous_per_byte_s
+        return nbytes * rate

@@ -1,0 +1,125 @@
+"""Compute-node model: per-kernel effective flop rates.
+
+A Paragon GP node holds i860 XP processors with a 100 Mflop/s peak, but the
+*achieved* rate depends heavily on the kernel: dense matrix products stream
+well, while the CFAR sliding window and the small-matrix QR solves are
+memory-bound.  Rather than model the i860 micro-architecture, we calibrate
+one effective rate per kernel class from a single measurement each
+(Table 7, case 1 of the paper) and then *predict* every other configuration.
+See DESIGN.md §6 for the derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.errors import MachineError
+
+
+#: Kernel classes used by the STAP pipeline.  Anything not listed falls back
+#: to ``default``.
+KERNEL_CLASSES = (
+    "doppler",
+    "easy_weight",
+    "hard_weight",
+    "easy_beamform",
+    "hard_beamform",
+    "pulse_compression",
+    "cfar",
+    "default",
+)
+
+
+@dataclass(frozen=True)
+class ComputeRateTable:
+    """Effective flop rates (flop/s) per kernel class.
+
+    Values are *effective* rates: wall time of a kernel executing ``f``
+    flops on one node is ``f / rate``.  The defaults reproduce the AFRL
+    Paragon calibration (DESIGN.md §6).
+    """
+
+    rates: Mapping[str, float] = field(
+        default_factory=lambda: {
+            "doppler": 28.5e6,
+            "easy_weight": 9.5e6,
+            "hard_weight": 21.2e6,
+            "easy_beamform": 25.0e6,
+            "hard_beamform": 38.0e6,
+            "pulse_compression": 31.4e6,
+            "cfar": 2.4e6,
+            "default": 25.0e6,
+        }
+    )
+
+    def __post_init__(self):
+        for name, rate in self.rates.items():
+            if rate <= 0:
+                raise MachineError(f"rate for kernel {name!r} must be positive, got {rate}")
+        if "default" not in self.rates:
+            raise MachineError("rate table must define a 'default' kernel class")
+
+    def rate(self, kernel: str) -> float:
+        """Effective flop/s for ``kernel`` (falls back to 'default')."""
+        return self.rates.get(kernel, self.rates["default"])
+
+    def time_for(self, kernel: str, flops: float) -> float:
+        """Wall time for ``flops`` floating-point operations of ``kernel``."""
+        if flops < 0:
+            raise MachineError(f"negative flop count: {flops}")
+        return flops / self.rate(kernel)
+
+    def scaled(self, factor: float) -> "ComputeRateTable":
+        """A table with all rates multiplied by ``factor`` (faster machine)."""
+        if factor <= 0:
+            raise MachineError(f"scale factor must be positive, got {factor}")
+        return ComputeRateTable({k: v * factor for k, v in self.rates.items()})
+
+
+@dataclass(frozen=True)
+class NodeModel:
+    """One compute node.
+
+    Attributes
+    ----------
+    rates:
+        Per-kernel effective compute rates.
+    processors_per_node:
+        i860 count per node.  The AFRL machine's compute partition is used
+        one-processor-per-node by message-passing codes (the paper's
+        implementation); the ruggedized machine used all three as a small
+        shared-memory multiprocessor, modeled as a speedup factor.
+    memory_bytes:
+        Per-node memory (64 MiB on the Paragon); used for feasibility checks.
+    smp_efficiency:
+        Parallel efficiency of using the extra on-node processors
+        (1.0 means perfect scaling across ``processors_per_node``).
+    """
+
+    rates: ComputeRateTable = field(default_factory=ComputeRateTable)
+    processors_per_node: int = 1
+    memory_bytes: int = 64 * 1024 * 1024
+    smp_efficiency: float = 0.85
+
+    def __post_init__(self):
+        if self.processors_per_node < 1:
+            raise MachineError("processors_per_node must be >= 1")
+        if self.memory_bytes <= 0:
+            raise MachineError("memory_bytes must be positive")
+        if not (0.0 < self.smp_efficiency <= 1.0):
+            raise MachineError("smp_efficiency must be in (0, 1]")
+
+    @property
+    def smp_speedup(self) -> float:
+        """Effective speedup from the on-node processors."""
+        p = self.processors_per_node
+        return 1.0 if p == 1 else 1.0 + (p - 1) * self.smp_efficiency
+
+    def compute_time(self, kernel: str, flops: float) -> float:
+        """Wall time to execute ``flops`` of ``kernel`` on this node."""
+        return self.rates.time_for(kernel, flops) / self.smp_speedup
+
+    def with_rates(self, rates: ComputeRateTable) -> "NodeModel":
+        """Copy of this node model with a different rate table."""
+        return replace(self, rates=rates)

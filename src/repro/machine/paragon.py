@@ -1,0 +1,106 @@
+"""Preconfigured machines: the two Paragons of the paper.
+
+:func:`afrl_paragon`
+    The 321-node Intel Paragon at AFRL Rome (Section 6) used for all the
+    paper's scaling results.  The compute partition is a 2-D mesh; we place
+    it on a 23x14 mesh (322 slots) since the paper gives node count, not
+    exact shape.
+
+:func:`ruggedized_paragon`
+    The 25-node in-flight machine of the RTMCARM experiments (Section 2),
+    whose nodes each run three i860s as a small shared-memory machine.
+    This backs the round-robin baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.des import Simulator
+from repro.errors import MachineError
+from repro.machine.cost_model import NetworkCostModel, PackingCostModel
+from repro.machine.mesh import Mesh2D
+from repro.machine.network import Network, ContentionMode
+from repro.machine.node import ComputeRateTable, NodeModel
+
+#: The paper's interconnect micro-measurements (Section 6).
+PARAGON_NETWORK = NetworkCostModel(startup_s=35.3e-6, per_byte_s=6.53e-9, per_hop_s=40e-9)
+
+#: Per-kernel effective rates calibrated from Table 7 case 1 (DESIGN.md §6).
+PARAGON_RATES = ComputeRateTable()
+
+#: Strided-copy model calibrated against the send columns of Tables 2-6.
+PARAGON_PACKING = PackingCostModel(contiguous_per_byte_s=8.0e-9, strided_per_byte_s=62.0e-9)
+
+
+@dataclass
+class Machine:
+    """A parallel machine: mesh + node model + cost models.
+
+    A :class:`Machine` is a *description*; binding it to a simulator via
+    :meth:`build_network` produces the live, stateful network.
+    """
+
+    mesh: Mesh2D
+    node: NodeModel = field(default_factory=NodeModel)
+    network_cost: NetworkCostModel = field(default_factory=lambda: PARAGON_NETWORK)
+    packing_cost: PackingCostModel = field(default_factory=lambda: PARAGON_PACKING)
+    name: str = "machine"
+
+    @property
+    def num_nodes(self) -> int:
+        return self.mesh.num_nodes
+
+    def check_node_budget(self, nodes_needed: int) -> None:
+        """Raise if an experiment asks for more nodes than the machine has."""
+        if nodes_needed > self.num_nodes:
+            raise MachineError(
+                f"{self.name} has {self.num_nodes} nodes; {nodes_needed} requested"
+            )
+
+    def build_network(
+        self,
+        sim: Simulator,
+        contention: ContentionMode | str = ContentionMode.ENDPOINT,
+    ) -> Network:
+        """Instantiate the live interconnect for a simulation run."""
+        return Network(sim, self.mesh, self.network_cost, contention=contention)
+
+    def compute_time(self, kernel: str, flops: float) -> float:
+        """Per-node wall time for ``flops`` of ``kernel``."""
+        return self.node.compute_time(kernel, flops)
+
+
+def afrl_paragon(rates: Optional[ComputeRateTable] = None) -> Machine:
+    """The 321-node AFRL Rome Paragon (23x14 mesh = 322 slots)."""
+    return Machine(
+        mesh=Mesh2D(23, 14),
+        node=NodeModel(rates=rates or PARAGON_RATES, processors_per_node=1),
+        network_cost=PARAGON_NETWORK,
+        packing_cost=PARAGON_PACKING,
+        name="AFRL Intel Paragon (321 nodes)",
+    )
+
+
+#: Per-processor kernel speedup of the in-flight shared-memory code over
+#: the message-passing kernels: the RTMCARM implementation ran hand-tuned
+#: i860 kernels on node-local data with no pack/redistribute passes.
+#: Calibrated so one 3-processor node processes a CPI in the reported
+#: 2.35 seconds (Section 2).
+RUGGEDIZED_RATE_SCALE = 2.85
+
+
+def ruggedized_paragon(rates: Optional[ComputeRateTable] = None) -> Machine:
+    """The 25-node ruggedized in-flight Paragon (5x5 mesh, 3 i860s/node)."""
+    return Machine(
+        mesh=Mesh2D(5, 5),
+        node=NodeModel(
+            rates=rates or PARAGON_RATES.scaled(RUGGEDIZED_RATE_SCALE),
+            processors_per_node=3,
+            smp_efficiency=0.85,
+        ),
+        network_cost=PARAGON_NETWORK,
+        packing_cost=PARAGON_PACKING,
+        name="ruggedized Intel Paragon (25 nodes)",
+    )

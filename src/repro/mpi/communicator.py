@@ -1,0 +1,298 @@
+"""World and Communicator: rank management and point-to-point matching.
+
+Matching semantics follow MPI:
+
+* a receive matches the *earliest* posted, not-yet-matched send whose
+  (source, tag) satisfies its pattern (wildcards allowed);
+* messages between a fixed (source, dest, tag) triple are non-overtaking;
+* each communicator is an isolated matching context (a message sent on one
+  communicator can never match a receive on another).
+
+Transfer protocol, as in real MPI implementations:
+
+* messages up to ``eager_threshold`` bytes use the **eager** protocol: the
+  send request completes as soon as the message is handed to the transport
+  (buffered); small control traffic therefore never deadlocks on posting
+  order;
+* larger messages use **rendezvous**: the wire transfer starts when send
+  and receive are both posted, and the send request completes when the
+  payload arrives.  This throttles producers (double buffering bounds how
+  far ahead a task can run) and makes the receiver's blocked time include
+  waiting-for-the-sender — exactly the quantity the paper's "recv" columns
+  report (Section 7.2: "timing results shown in the tables contain idle
+  time for waiting for the corresponding task to complete").
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from repro.des import Simulator
+from repro.errors import MPIError
+from repro.machine.network import Network
+from repro.machine.paragon import Machine
+from repro.mpi.datatypes import Message, payload_nbytes, ANY_SOURCE, ANY_TAG
+from repro.mpi.request import SendRequest, RecvRequest
+
+
+class _PendingSend:
+    """A posted send waiting for its matching receive."""
+
+    __slots__ = ("request", "message", "src_world", "dst_world", "seq")
+
+    def __init__(self, request, message, src_world, dst_world, seq):
+        self.request = request
+        self.message = message
+        self.src_world = src_world
+        self.dst_world = dst_world
+        self.seq = seq
+
+
+class World:
+    """All ranks of one simulation run, placed onto machine nodes.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator.
+    machine:
+        Machine description; its network is instantiated here.
+    num_ranks:
+        Number of world ranks.
+    placement:
+        Optional mapping rank -> mesh node id (default: identity).  The
+        pipeline places each task's ranks on a contiguous block of nodes,
+        mirroring the paper's task-to-partition mapping.
+    contention:
+        Passed to :meth:`Machine.build_network`.
+    eager_threshold:
+        Messages of at most this many bytes complete their send request at
+        posting time (buffered eager protocol).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        num_ranks: int,
+        placement: Optional[Sequence[int]] = None,
+        contention="endpoint",
+        eager_threshold: int = 16 * 1024,
+    ):
+        if num_ranks < 1:
+            raise MPIError(f"world needs at least 1 rank, got {num_ranks}")
+        machine.check_node_budget(num_ranks if placement is None else max(placement) + 1)
+        self.sim = sim
+        self.machine = machine
+        self.network: Network = machine.build_network(sim, contention=contention)
+        self.num_ranks = num_ranks
+        if placement is None:
+            placement = list(range(num_ranks))
+        if len(placement) != num_ranks:
+            raise MPIError(
+                f"placement has {len(placement)} entries for {num_ranks} ranks"
+            )
+        self.placement = list(placement)
+        self.eager_threshold = int(eager_threshold)
+        self._context_counter = itertools.count()
+        self._send_seq = itertools.count()
+        # Matching state, keyed by (context_id, dest_world_rank).
+        self._pending_sends: dict[tuple[int, int], deque[_PendingSend]] = {}
+        self._pending_recvs: dict[tuple[int, int], deque[tuple[RecvRequest, int]]] = {}
+        #: World communicator spanning every rank.
+        self.comm = Communicator(self, list(range(num_ranks)))
+
+    # -- rank spawning -----------------------------------------------------------
+    def spawn(
+        self,
+        rank: int,
+        program: Callable[["RankContext"], Generator],
+        name="",
+        comm: Optional["Communicator"] = None,
+    ):
+        """Run ``program(ctx)`` as the process for world rank ``rank``.
+
+        ``comm`` binds the context to a sub-communicator (``ctx.rank``
+        becomes the local rank there); default is the world communicator.
+        """
+        from repro.mpi.context import RankContext
+
+        ctx = RankContext(self, comm or self.comm, rank)
+        return self.sim.process(program(ctx), name=name or f"rank{rank}")
+
+    def spawn_all(self, program: Callable[["RankContext"], Generator]):
+        """Spawn ``program`` on every world rank; returns the processes."""
+        return [self.spawn(r, program) for r in range(self.num_ranks)]
+
+    def node_of(self, world_rank: int) -> int:
+        """Mesh node hosting ``world_rank``."""
+        return self.placement[world_rank]
+
+    # -- matching core -------------------------------------------------------------
+    def _post_send(
+        self,
+        context_id: int,
+        src_world: int,
+        dst_world: int,
+        tag: int,
+        payload: Any,
+        nbytes: int,
+    ) -> SendRequest:
+        request = SendRequest(self.sim, dest=dst_world, tag=tag, nbytes=nbytes)
+        message = Message(
+            source=src_world, tag=tag, payload=payload, nbytes=nbytes, sent_at=self.sim.now
+        )
+        pending = _PendingSend(request, message, src_world, dst_world, next(self._send_seq))
+        key = (context_id, dst_world)
+        recvs = self._pending_recvs.get(key)
+        if recvs:
+            for idx, (recv_req, _seq) in enumerate(recvs):
+                if recv_req.matches(src_world, tag):
+                    del recvs[idx]
+                    self._start_transfer(pending, recv_req)
+                    return request
+        self._pending_sends.setdefault(key, deque()).append(pending)
+        if nbytes <= self.eager_threshold:
+            # Eager protocol: the message is buffered by the transport; the
+            # sender's buffer is immediately reusable.
+            request.succeed(None)
+        return request
+
+    def _post_recv(
+        self, context_id: int, dst_world: int, source: int, tag: int
+    ) -> RecvRequest:
+        request = RecvRequest(self.sim, source=source, tag=tag)
+        key = (context_id, dst_world)
+        sends = self._pending_sends.get(key)
+        if sends:
+            for idx, pending in enumerate(sends):
+                if request.matches(pending.src_world, pending.message.tag):
+                    del sends[idx]
+                    self._start_transfer(pending, request)
+                    return request
+        self._pending_recvs.setdefault(key, deque()).append(
+            (request, next(self._send_seq))
+        )
+        return request
+
+    def _start_transfer(self, pending: _PendingSend, recv_req: RecvRequest) -> None:
+        src_node = self.node_of(pending.src_world)
+        dst_node = self.node_of(pending.dst_world)
+        done = self.network.transfer(src_node, dst_node, pending.message.nbytes)
+
+        def _deliver(_event, pending=pending, recv_req=recv_req):
+            message = pending.message
+            message.delivered_at = self.sim.now
+            if recv_req.comm is not None:
+                # Translate world source rank to the receiver's local rank.
+                message.source = recv_req.comm._local_of_world.get(
+                    message.source, message.source
+                )
+            if not pending.request.triggered:  # eager sends completed early
+                pending.request.succeed(None)
+            recv_req.succeed(message)
+
+        done.callbacks.append(_deliver)
+
+    # -- diagnostics ----------------------------------------------------------------
+    def outstanding_operations(self) -> int:
+        """Unmatched sends + receives across all contexts (0 at a clean end)."""
+        return sum(len(q) for q in self._pending_sends.values()) + sum(
+            len(q) for q in self._pending_recvs.values()
+        )
+
+
+class Communicator:
+    """A rank subset with its own isolated matching context.
+
+    All rank arguments to communicator methods are *local* ranks within the
+    communicator, as in MPI.
+    """
+
+    def __init__(self, world: World, world_ranks: Sequence[int]):
+        if len(set(world_ranks)) != len(world_ranks):
+            raise MPIError("communicator rank list contains duplicates")
+        for r in world_ranks:
+            if not (0 <= r < world.num_ranks):
+                raise MPIError(f"world rank {r} out of range")
+        self.world = world
+        self.world_ranks = list(world_ranks)
+        self._local_of_world = {w: l for l, w in enumerate(self.world_ranks)}
+        self.context_id = next(world._context_counter)
+
+    # -- shape ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+    def local_rank_of(self, world_rank: int) -> int:
+        """Local rank of a world rank (raises if not a member)."""
+        try:
+            return self._local_of_world[world_rank]
+        except KeyError:
+            raise MPIError(
+                f"world rank {world_rank} not in communicator {self.context_id}"
+            ) from None
+
+    def world_rank_of(self, local_rank: int) -> int:
+        """World rank of a local rank."""
+        if not (0 <= local_rank < self.size):
+            raise MPIError(f"local rank {local_rank} out of range (size={self.size})")
+        return self.world_ranks[local_rank]
+
+    def create_comm(self, local_ranks: Sequence[int]) -> "Communicator":
+        """Sub-communicator from local ranks of this one (``MPI_Comm_create``)."""
+        return Communicator(self.world, [self.world_rank_of(r) for r in local_ranks])
+
+    # -- point to point -------------------------------------------------------------
+    def isend(
+        self,
+        payload: Any,
+        dest: int,
+        tag: int = 0,
+        nbytes: Optional[int] = None,
+        src: Optional[int] = None,
+    ) -> SendRequest:
+        """Post a non-blocking send from ``src`` (local) to ``dest`` (local).
+
+        ``src`` identifies the sending rank; rank programs normally call the
+        bound helpers on :class:`~repro.mpi.context.RankContext` which fill
+        it in automatically.
+        """
+        if src is None:
+            raise MPIError("isend needs the sending rank (use RankContext.isend)")
+        if tag < 0:
+            raise MPIError(f"tags must be non-negative, got {tag}")
+        if nbytes is None:
+            nbytes = payload_nbytes(payload)
+        import numpy as np
+
+        if isinstance(payload, np.ndarray):
+            # MPI owns the buffer for the duration of the send; emulate by
+            # copying so that sender-side mutation cannot race the transfer.
+            payload = payload.copy()
+        return self.world._post_send(
+            self.context_id,
+            self.world_rank_of(src),
+            self.world_rank_of(dest),
+            tag,
+            payload,
+            int(nbytes),
+        )
+
+    def irecv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, dst: Optional[int] = None
+    ) -> RecvRequest:
+        """Post a non-blocking receive at ``dst`` (local rank)."""
+        if dst is None:
+            raise MPIError("irecv needs the receiving rank (use RankContext.irecv)")
+        src_world = (
+            ANY_SOURCE if source == ANY_SOURCE else self.world_rank_of(source)
+        )
+        request = self.world._post_recv(
+            self.context_id, self.world_rank_of(dst), src_world, tag
+        )
+        request.comm = self
+        return request

@@ -1,0 +1,94 @@
+"""RankContext: what a rank program sees.
+
+A rank program is a generator function ``program(ctx)``.  The context binds
+the rank's identity to the communicator (so ``ctx.isend`` / ``ctx.irecv``
+need no explicit src/dst), and exposes the machine model's local costs:
+
+``ctx.compute(kernel, flops)``
+    charge compute time on this rank's node;
+``ctx.copy(nbytes, strided=...)``
+    charge a pack/unpack (data collection / reorganization) pass;
+``ctx.wtime()``
+    the virtual clock — the simulated ``MPI_Wtime()`` of Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.des.event import Event
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG
+from repro.mpi.request import SendRequest, RecvRequest, wait_all, wait_any
+
+
+class RankContext:
+    """Identity + services for one rank inside one communicator."""
+
+    def __init__(self, world, comm, world_rank: int):
+        self.world = world
+        self.comm = comm
+        self.world_rank = world_rank
+        #: Local rank within ``comm``.
+        self.rank = comm.local_rank_of(world_rank)
+        #: Mesh node hosting this rank.
+        self.node = world.node_of(world_rank)
+        self.sim = world.sim
+        self.machine = world.machine
+
+    # -- communication -----------------------------------------------------
+    def isend(
+        self, payload: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None
+    ) -> SendRequest:
+        """Non-blocking send to local rank ``dest`` of this context's comm."""
+        return self.comm.isend(payload, dest=dest, tag=tag, nbytes=nbytes, src=self.rank)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
+        """Non-blocking receive at this rank."""
+        return self.comm.irecv(source=source, tag=tag, dst=self.rank)
+
+    def send(self, payload: Any, dest: int, tag: int = 0, nbytes: Optional[int] = None):
+        """Blocking send (a generator — use ``yield from ctx.send(...)``)."""
+        yield self.isend(payload, dest=dest, tag=tag, nbytes=nbytes)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive returning the message (``yield from``)."""
+        message = yield self.irecv(source=source, tag=tag)
+        return message
+
+    def wait_all(self, requests: Sequence) -> Event:
+        """Event firing when all ``requests`` complete."""
+        return wait_all(self.sim, requests)
+
+    def wait_any(self, requests: Sequence) -> Event:
+        """Event firing when any of ``requests`` completes."""
+        return wait_any(self.sim, requests)
+
+    def on(self, comm) -> "RankContext":
+        """This rank's context bound to another communicator it belongs to."""
+        return RankContext(self.world, comm, self.world_rank)
+
+    # -- local machine costs -------------------------------------------------
+    def compute(self, kernel: str, flops: float) -> Event:
+        """Timeout covering ``flops`` of ``kernel`` on this node."""
+        return self.sim.timeout(
+            self.machine.node.compute_time(kernel, flops), name=f"compute:{kernel}"
+        )
+
+    def elapse(self, seconds: float) -> Event:
+        """Timeout for a directly-specified duration."""
+        return self.sim.timeout(seconds, name="elapse")
+
+    def copy(self, nbytes: int, strided: bool = False) -> Event:
+        """Timeout covering one pack/unpack pass over ``nbytes``."""
+        return self.sim.timeout(
+            self.machine.packing_cost.copy_time(nbytes, strided=strided),
+            name="copy",
+        )
+
+    # -- timing -----------------------------------------------------------------
+    def wtime(self) -> float:
+        """Virtual wall clock (the simulated ``MPI_Wtime``)."""
+        return self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RankContext rank={self.rank} world={self.world_rank} node={self.node}>"

@@ -1,0 +1,69 @@
+"""Requests: the events returned by non-blocking operations.
+
+A request *is* a DES event, so blocking on it is just ``yield request``.
+``wait_all`` / ``wait_any`` mirror ``MPI_Waitall`` / ``MPI_Waitany``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.des.event import Event, AllOf, AnyOf
+
+
+class Request(Event):
+    """Base class for send/receive requests."""
+
+    __slots__ = ("posted_at",)
+
+    def __init__(self, sim, name: str = ""):
+        super().__init__(sim, name=name)
+        #: Virtual time at which the operation was posted.
+        self.posted_at = sim.now
+
+    @property
+    def complete(self) -> bool:
+        """Non-blocking completion test (``MPI_Test``)."""
+        return self.triggered
+
+
+class SendRequest(Request):
+    """Completes when the payload has left the sender (buffer reusable)."""
+
+    __slots__ = ("dest", "tag", "nbytes")
+
+    def __init__(self, sim, dest: int, tag: int, nbytes: int):
+        super().__init__(sim, name=f"isend(dest={dest},tag={tag})")
+        self.dest = dest
+        self.tag = tag
+        self.nbytes = nbytes
+
+
+class RecvRequest(Request):
+    """Completes with the delivered :class:`~repro.mpi.datatypes.Message`."""
+
+    __slots__ = ("source", "tag", "comm")
+
+    def __init__(self, sim, source: int, tag: int):
+        super().__init__(sim, name=f"irecv(source={source},tag={tag})")
+        self.source = source
+        self.tag = tag
+        #: Communicator the receive was posted on; used at delivery time to
+        #: translate the message's world source rank into a local rank.
+        self.comm = None
+
+    def matches(self, src: int, tag: int) -> bool:
+        """True if an incoming (src, tag) satisfies this request's pattern."""
+        from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG
+
+        return (self.source in (ANY_SOURCE, src)) and (self.tag in (ANY_TAG, tag))
+
+
+def wait_all(sim, requests: Sequence[Request]) -> AllOf:
+    """Event firing when every request has completed (``MPI_Waitall``)."""
+    return AllOf(sim, list(requests))
+
+
+def wait_any(sim, requests: Sequence[Request]) -> AnyOf:
+    """Event firing when any request has completed (``MPI_Waitany``)."""
+    return AnyOf(sim, list(requests))

@@ -1,0 +1,82 @@
+"""Array geometry and steering vectors.
+
+The RTMCARM antenna is modeled as a uniform linear array (ULA) of J
+half-wavelength-spaced elements (the paper processed the upper row of 16
+elements of the L-band array).  Spatial steering vectors follow the standard
+narrowband model; temporal (Doppler) steering vectors use normalized Doppler
+frequency in cycles/PRI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def spatial_steering(
+    num_channels: int,
+    angle_deg: float,
+    spacing_wavelengths: float = 0.5,
+    dtype=np.complex128,
+) -> np.ndarray:
+    """Unit-norm ULA steering vector for arrival angle ``angle_deg``.
+
+    Parameters
+    ----------
+    num_channels:
+        Number of array elements J.
+    angle_deg:
+        Angle off boresight, in degrees, in (-90, 90).
+    spacing_wavelengths:
+        Element spacing in wavelengths (default half-wavelength).
+    """
+    if not (-90.0 <= angle_deg <= 90.0):
+        raise ConfigurationError(f"angle must be in [-90, 90] deg, got {angle_deg}")
+    k = np.arange(num_channels)
+    phase = 2.0 * np.pi * spacing_wavelengths * np.sin(np.deg2rad(angle_deg))
+    vec = np.exp(1j * phase * k).astype(dtype)
+    return vec / np.sqrt(num_channels)
+
+
+def temporal_steering(
+    num_pulses: int, normalized_doppler: float, dtype=np.complex128
+) -> np.ndarray:
+    """Unit-norm Doppler steering vector.
+
+    ``normalized_doppler`` is in cycles per PRI; 0 is the (clutter-centred)
+    zero-Doppler line, ±0.5 the unambiguous edges.
+    """
+    n = np.arange(num_pulses)
+    vec = np.exp(2j * np.pi * normalized_doppler * n).astype(dtype)
+    return vec / np.sqrt(num_pulses)
+
+
+def beam_angles(num_beams: int, span_deg: float = 25.0) -> np.ndarray:
+    """Receive-beam pointing angles within one transmit beam.
+
+    The airborne system transmitted five 25-degree beams and formed six
+    receive beams within each (Section 3); by default we spread ``num_beams``
+    receive beams evenly across a 25-degree transmit illumination region.
+    """
+    if num_beams < 1:
+        raise ConfigurationError(f"num_beams must be >= 1, got {num_beams}")
+    if num_beams == 1:
+        return np.zeros(1)
+    half = span_deg / 2.0
+    return np.linspace(-half, half, num_beams)
+
+
+def steering_matrix(
+    num_channels: int,
+    angles_deg,
+    spacing_wavelengths: float = 0.5,
+    dtype=np.complex128,
+) -> np.ndarray:
+    """Matrix of steering vectors, shape (J, num_beams) — column per beam."""
+    angles = np.atleast_1d(np.asarray(angles_deg, dtype=float))
+    cols = [
+        spatial_steering(num_channels, a, spacing_wavelengths, dtype=dtype)
+        for a in angles
+    ]
+    return np.stack(cols, axis=1)

@@ -1,0 +1,128 @@
+"""Persisting and replaying CPI streams.
+
+The RTMCARM program recorded live radar tapes and replayed them through the
+processing chain; this module provides the equivalent: save a run of CPI
+cubes (with their ground truth) to a compressed ``.npz`` archive and replay
+it later as a :class:`FileCPIStream` — so experiments can be repeated on
+identical data across processes and machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.radar.datacube import CPIDataCube
+from repro.radar.parameters import STAPParams
+from repro.radar.scenario import TargetTruth
+
+_FORMAT_VERSION = 1
+
+
+def save_cubes(path, cubes: Sequence[CPIDataCube]) -> None:
+    """Write CPI cubes (and their metadata) to one ``.npz`` archive."""
+    if not cubes:
+        raise ConfigurationError("cannot save an empty cube list")
+    params = cubes[0].params
+    for cube in cubes:
+        if cube.params != params:
+            raise ConfigurationError("all cubes must share one STAPParams")
+    arrays = {f"cube_{i}": cube.data for i, cube in enumerate(cubes)}
+    meta = {
+        "version": _FORMAT_VERSION,
+        "params": {
+            field: getattr(params, field)
+            for field in (
+                "num_ranges", "num_channels", "num_pulses", "num_beams",
+                "num_hard_doppler", "stagger", "window",
+                "beam_constraint_weight", "freq_constraint_weight",
+                "forgetting_factor", "easy_train_per_cpi",
+                "hard_train_samples", "cfar_window", "cfar_guard",
+                "cfar_pfa", "waveform_length", "range_correction", "dtype",
+            )
+        },
+        "segment_boundaries": list(params.range_segment_boundaries),
+        "cubes": [
+            {
+                "cpi_index": cube.cpi_index,
+                "azimuth": cube.azimuth,
+                "truth": [
+                    [t.range_cell, t.normalized_doppler, t.angle_deg, t.snr_db]
+                    for t in cube.truth
+                ],
+            }
+            for cube in cubes
+        ],
+    }
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_cubes(path) -> list[CPIDataCube]:
+    """Load CPI cubes saved by :func:`save_cubes`."""
+    with np.load(Path(path)) as archive:
+        if "meta_json" not in archive:
+            raise ConfigurationError(f"{path} is not a repro cube archive")
+        meta = json.loads(bytes(archive["meta_json"].tobytes()).decode("utf-8"))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported archive version {meta.get('version')}"
+            )
+        params = STAPParams(
+            range_segment_boundaries=tuple(meta["segment_boundaries"]),
+            **meta["params"],
+        )
+        cubes = []
+        for i, record in enumerate(meta["cubes"]):
+            truth = tuple(
+                TargetTruth(
+                    range_cell=int(r), normalized_doppler=float(f),
+                    angle_deg=float(a), snr_db=float(s),
+                )
+                for r, f, a, s in record["truth"]
+            )
+            cubes.append(
+                CPIDataCube(
+                    data=archive[f"cube_{i}"],
+                    cpi_index=int(record["cpi_index"]),
+                    azimuth=int(record["azimuth"]),
+                    params=params,
+                    truth=truth,
+                )
+            )
+    return cubes
+
+
+class FileCPIStream:
+    """Replay a saved cube archive with the :class:`CPIStream` interface."""
+
+    def __init__(self, path, azimuth_cycle: int = 1):
+        self._cubes = load_cubes(path)
+        if not self._cubes:
+            raise ConfigurationError(f"no cubes in {path}")
+        self.params = self._cubes[0].params
+        self.azimuth_cycle = azimuth_cycle
+        by_index = {cube.cpi_index: cube for cube in self._cubes}
+        if len(by_index) != len(self._cubes):
+            raise ConfigurationError("duplicate CPI indices in archive")
+        self._by_index = by_index
+
+    def __len__(self) -> int:
+        return len(self._cubes)
+
+    def cube(self, cpi_index: int) -> CPIDataCube:
+        try:
+            return self._by_index[cpi_index]
+        except KeyError:
+            raise ConfigurationError(
+                f"CPI {cpi_index} not in archive (has {sorted(self._by_index)})"
+            ) from None
+
+    def take(self, count: int, start: int = 0) -> list[CPIDataCube]:
+        return [self.cube(i) for i in range(start, start + count)]

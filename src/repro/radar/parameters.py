@@ -1,0 +1,240 @@
+"""STAP algorithm parameters (the shape of the computation).
+
+The defaults are exactly the paper's experimental parameters (Section 7):
+K=512 range cells, J=16 channels, N=128 pulses, M=6 receive beams,
+N_easy=72 / N_hard=56 Doppler bins, PRI stagger of 3 pulses, Hanning
+window, 6 hard range segments with boundaries [0,75,150,225,300,375,512],
+beam/frequency constraint weights 0.5 and forgetting factor 0.6 (Appendix B).
+
+Everything is parameterized so tests can run the identical code at toy sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class STAPParams:
+    """Dimensions and tuning constants of the PRI-staggered STAP algorithm."""
+
+    num_ranges: int = 512
+    num_channels: int = 16
+    num_pulses: int = 128
+    num_beams: int = 6
+    num_hard_doppler: int = 56
+    stagger: int = 3
+    window: str = "hanning"
+    beam_constraint_weight: float = 0.5
+    freq_constraint_weight: float = 0.5
+    forgetting_factor: float = 0.6
+    range_segment_boundaries: tuple[int, ...] = (0, 75, 150, 225, 300, 375, 512)
+    #: Range samples drawn from EACH of the three preceding CPIs for easy-bin
+    #: training (96 total with the default; DESIGN.md derives 96 from the
+    #: paper's Table 1 flop count).
+    easy_train_per_cpi: int = 32
+    #: Range samples appended per recursive hard-bin QR update (per segment).
+    hard_train_samples: int = 32
+    #: CFAR reference window half-width (cells per side).
+    cfar_window: int = 16
+    #: CFAR guard cells per side of the cell under test.
+    cfar_guard: int = 2
+    #: CFAR design false-alarm probability.
+    cfar_pfa: float = 1e-6
+    #: Length of the transmit pulse (range cells) for pulse compression.
+    waveform_length: int = 32
+    #: Apply R^2 range (sensitivity-time) correction during Doppler filter
+    #: processing — "performing range correction for each range cell"
+    #: (Section 5.1).  Off by default: the synthetic cubes are generated
+    #: without the R^4 propagation loss the correction undoes.
+    range_correction: bool = False
+    #: Complex dtype of the data cubes ("complex64" matches the 16-bit
+    #: baseband samples of the real system after conversion).
+    dtype: str = "complex64"
+
+    # -- validation -------------------------------------------------------------
+    def __post_init__(self):
+        if self.num_ranges < 4:
+            raise ConfigurationError(f"num_ranges must be >= 4, got {self.num_ranges}")
+        if self.num_channels < 2:
+            raise ConfigurationError(
+                f"num_channels must be >= 2, got {self.num_channels}"
+            )
+        if self.num_pulses < 4:
+            raise ConfigurationError(f"num_pulses must be >= 4, got {self.num_pulses}")
+        if self.num_beams < 1:
+            raise ConfigurationError(f"num_beams must be >= 1, got {self.num_beams}")
+        if not (0 < self.num_hard_doppler < self.num_pulses):
+            raise ConfigurationError(
+                "num_hard_doppler must be in (0, num_pulses), got "
+                f"{self.num_hard_doppler}"
+            )
+        if self.num_hard_doppler % 2 != 0:
+            raise ConfigurationError(
+                "num_hard_doppler must be even (split across both spectrum "
+                f"edges), got {self.num_hard_doppler}"
+            )
+        if not (0 < self.stagger < self.num_pulses):
+            raise ConfigurationError(
+                f"stagger must be in (0, num_pulses), got {self.stagger}"
+            )
+        bounds = self.range_segment_boundaries
+        if len(bounds) < 2 or bounds[0] != 0 or bounds[-1] != self.num_ranges:
+            raise ConfigurationError(
+                "range_segment_boundaries must start at 0 and end at "
+                f"num_ranges={self.num_ranges}, got {bounds}"
+            )
+        if any(b >= e for b, e in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"range_segment_boundaries must be strictly increasing: {bounds}"
+            )
+        if self.easy_train_per_cpi < 1 or self.easy_train_per_cpi > self.num_ranges:
+            raise ConfigurationError(
+                f"easy_train_per_cpi must be in [1, num_ranges], got "
+                f"{self.easy_train_per_cpi}"
+            )
+        if self.hard_train_samples < 1:
+            raise ConfigurationError(
+                f"hard_train_samples must be >= 1, got {self.hard_train_samples}"
+            )
+        if self.cfar_window < 1:
+            raise ConfigurationError(f"cfar_window must be >= 1, got {self.cfar_window}")
+        if self.cfar_guard < 0:
+            raise ConfigurationError(f"cfar_guard must be >= 0, got {self.cfar_guard}")
+        if not (0.0 < self.cfar_pfa < 1.0):
+            raise ConfigurationError(f"cfar_pfa must be in (0,1), got {self.cfar_pfa}")
+        if not (0.0 < self.forgetting_factor <= 1.0):
+            raise ConfigurationError(
+                f"forgetting_factor must be in (0,1], got {self.forgetting_factor}"
+            )
+        if not (1 <= self.waveform_length <= self.num_ranges):
+            raise ConfigurationError(
+                f"waveform_length must be in [1, num_ranges], got "
+                f"{self.waveform_length}"
+            )
+        np.dtype(self.dtype)  # raises on nonsense
+
+    # -- derived quantities -----------------------------------------------------
+    @property
+    def num_doppler(self) -> int:
+        """Number of Doppler bins (= number of pulses; full-size FFT)."""
+        return self.num_pulses
+
+    @property
+    def num_easy_doppler(self) -> int:
+        """Easy (clutter-free) Doppler bins: N - N_hard (72 at paper scale)."""
+        return self.num_doppler - self.num_hard_doppler
+
+    @cached_property
+    def easy_bins(self) -> np.ndarray:
+        """Indices of easy Doppler bins (the middle of the spectrum).
+
+        FFT bin 0 is zero Doppler — mainbeam clutter — so the *hard* bins
+        hug both edges of the bin range (wrap-around) and the easy bins are
+        the centre block, exactly as in the Appendix B MATLAB
+        (``numHardDop/2+1 : num_doppler-numHardDop/2``).
+        """
+        half = self.num_hard_doppler // 2
+        return np.arange(half, self.num_doppler - half)
+
+    @cached_property
+    def hard_bins(self) -> np.ndarray:
+        """Indices of hard Doppler bins (both spectrum edges)."""
+        half = self.num_hard_doppler // 2
+        return np.concatenate(
+            [np.arange(0, half), np.arange(self.num_doppler - half, self.num_doppler)]
+        )
+
+    @property
+    def num_segments(self) -> int:
+        """Number of independent hard-weight range segments (6 at paper scale)."""
+        return len(self.range_segment_boundaries) - 1
+
+    @cached_property
+    def segment_slices(self) -> tuple[slice, ...]:
+        """Range slices of the hard-weight segments."""
+        bounds = self.range_segment_boundaries
+        return tuple(slice(b, e) for b, e in zip(bounds, bounds[1:]))
+
+    @property
+    def num_staggered_channels(self) -> int:
+        """Channel count of the staggered CPI (2J: two Doppler windows)."""
+        return 2 * self.num_channels
+
+    @property
+    def easy_train_total(self) -> int:
+        """Total easy-bin training rows (drawn from three preceding CPIs)."""
+        return 3 * self.easy_train_per_cpi
+
+    @property
+    def complex_itemsize(self) -> int:
+        """Bytes per complex sample."""
+        return np.dtype(self.dtype).itemsize
+
+    @property
+    def real_dtype(self) -> str:
+        """Real dtype matching :attr:`dtype` precision."""
+        return "float32" if np.dtype(self.dtype) == np.complex64 else "float64"
+
+    @property
+    def cpi_cube_bytes(self) -> int:
+        """Size of one raw CPI cube (K x J x N complex)."""
+        return (
+            self.num_ranges * self.num_channels * self.num_pulses * self.complex_itemsize
+        )
+
+    @property
+    def staggered_cube_bytes(self) -> int:
+        """Size of the Doppler-filtered staggered cube (K x 2J x N complex)."""
+        return 2 * self.cpi_cube_bytes
+
+    # -- convenience constructors --------------------------------------------------
+    def with_overrides(self, **kwargs) -> "STAPParams":
+        """Functional update (``dataclasses.replace``)."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def paper(cls) -> "STAPParams":
+        """The exact parameters of the paper's Section 7 experiments."""
+        return cls()
+
+    @classmethod
+    def tiny(cls) -> "STAPParams":
+        """A toy configuration for fast unit/property tests."""
+        return cls(
+            num_ranges=48,
+            num_channels=4,
+            num_pulses=16,
+            num_beams=2,
+            num_hard_doppler=8,
+            stagger=1,
+            range_segment_boundaries=(0, 24, 48),
+            easy_train_per_cpi=8,
+            hard_train_samples=10,
+            cfar_window=4,
+            cfar_guard=1,
+            waveform_length=6,
+        )
+
+    @classmethod
+    def small(cls) -> "STAPParams":
+        """A mid-size configuration for integration tests (fraction of a second)."""
+        return cls(
+            num_ranges=128,
+            num_channels=8,
+            num_pulses=32,
+            num_beams=3,
+            num_hard_doppler=12,
+            stagger=2,
+            range_segment_boundaries=(0, 32, 64, 96, 128),
+            easy_train_per_cpi=16,
+            hard_train_samples=18,
+            cfar_window=8,
+            cfar_guard=2,
+            waveform_length=12,
+        )

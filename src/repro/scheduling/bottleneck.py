@@ -1,0 +1,76 @@
+"""Bottleneck analysis of a pipeline run (the Table 10 effect).
+
+"If the number of nodes assigned to one task with a heavy work load is not
+enough to catch up the input data rate, this task becomes a bottleneck in
+the pipeline system ... the rest of the tasks have to wait for the
+bottleneck task's completion ... no matter how many more nodes assigned to
+them" (Section 7.3).  This module turns a simulated run's per-task timing
+into that diagnosis: who limits throughput, and how much of each task's
+time is idle waiting rather than work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assignment import TASK_NAMES
+from repro.core.metrics import PipelineMetrics
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Diagnosis of one run."""
+
+    bottleneck_task: str
+    bottleneck_seconds: float
+    #: task -> fraction of its cycle spent in recv+send rather than compute.
+    overhead_fraction: dict[str, float]
+    #: Tasks whose receive time exceeds their compute time — the signature
+    #: of idling on an upstream bottleneck (Table 10's symptom).
+    starved_tasks: tuple[str, ...]
+    throughput: float
+    latency: float
+
+    def summary(self) -> str:
+        lines = [
+            f"bottleneck: {self.bottleneck_task} "
+            f"({self.bottleneck_seconds:.4f} s/CPI -> "
+            f"throughput cap {1.0 / self.bottleneck_seconds:.3f} CPIs/s)",
+        ]
+        if self.starved_tasks:
+            lines.append(
+                "starved (recv > comp, idling on upstream): "
+                + ", ".join(self.starved_tasks)
+            )
+        worst_overhead = max(self.overhead_fraction.items(), key=lambda kv: kv[1])
+        lines.append(
+            f"highest communication overhead: {worst_overhead[0]} "
+            f"({100 * worst_overhead[1]:.1f}% of its cycle)"
+        )
+        return "\n".join(lines)
+
+
+def analyze_bottleneck(metrics: PipelineMetrics) -> BottleneckReport:
+    """Diagnose the bottleneck structure of a run's aggregated metrics."""
+    # Work time (comp + send), not total: in steady state, totals equalize
+    # to the pipeline period and waiting hides in recv.
+    totals = {name: m.comp + m.send for name, m in metrics.tasks.items()}
+    bottleneck = max(totals, key=totals.get)
+    overhead = {}
+    starved = []
+    for name in TASK_NAMES:
+        m = metrics.tasks.get(name)
+        if m is None:
+            continue
+        cycle = max(m.total, 1e-12)
+        overhead[name] = (m.recv + m.send) / cycle
+        if m.recv > m.comp and name != "doppler":
+            starved.append(name)
+    return BottleneckReport(
+        bottleneck_task=bottleneck,
+        bottleneck_seconds=totals[bottleneck],
+        overhead_fraction=overhead,
+        starved_tasks=tuple(starved),
+        throughput=metrics.measured_throughput,
+        latency=metrics.measured_latency,
+    )

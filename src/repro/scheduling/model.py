@@ -1,0 +1,184 @@
+"""Closed-form per-task time model ``T_i(P_i)``.
+
+For assignment search we need ``T_i`` cheaply for thousands of candidate
+assignments, so instead of simulating we use the analytic decomposition the
+paper's Section 5 implies::
+
+    T_i(P) = flops_i / (rate_i * P)                 -- computation
+           + pack_bytes_i / P * pack_rate_i          -- data collection/reorg
+           + unpack_bytes_i / P * unpack_rate_i      -- assembly at receive
+           + wire_bytes_i / P * per_byte + n_peers * startup   -- transfer
+
+Communication volumes are assignment-independent task totals (every edge
+moves the same subcubes regardless of how they are partitioned), so the
+model is separable per task — which is also why the greedy allocator in
+:mod:`repro.scheduling.optimizer` is exact for the bottleneck objective.
+The model intentionally ignores receive-side *idle* time (waiting for the
+producer): that is a property of the whole pipeline, captured by the
+simulation, not of one task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, Optional
+
+from repro.core.assignment import Assignment, TASK_NAMES
+from repro.errors import ConfigurationError
+from repro.machine import Machine, afrl_paragon
+from repro.radar.parameters import STAPParams
+from repro.stap import flops as flops_mod
+
+
+def _edge_volumes(params: STAPParams) -> Dict[str, int]:
+    """Bytes per CPI crossing each task-graph edge (assignment-free)."""
+    item = params.complex_itemsize
+    real_item = 4 if params.real_dtype == "float32" else 8
+    K, J, N, M = (
+        params.num_ranges,
+        params.num_channels,
+        params.num_pulses,
+        params.num_beams,
+    )
+    n_easy, n_hard = params.num_easy_doppler, params.num_hard_doppler
+    segments = params.num_segments
+    hard_rows = sum(
+        min(params.hard_train_samples, seg.stop - seg.start)
+        for seg in params.segment_slices
+    )
+    return {
+        "dop_to_easy_weight": n_easy * params.easy_train_per_cpi * J * item,
+        "dop_to_hard_weight": n_hard * hard_rows * 2 * J * item,
+        "dop_to_easy_bf": n_easy * J * K * item,
+        "dop_to_hard_bf": n_hard * 2 * J * K * item,
+        "easy_weight_to_bf": n_easy * J * M * item,
+        "hard_weight_to_bf": segments * n_hard * 2 * J * M * item,
+        "easy_bf_to_pc": n_easy * M * K * item,
+        "hard_bf_to_pc": n_hard * M * K * item,
+        "pc_to_cfar": N * M * K * real_item,
+    }
+
+
+#: Edge -> (source task, destination task, pack strided?, unpack strided?).
+_EDGE_INFO = {
+    "dop_to_easy_weight": ("doppler", "easy_weight", True, False),
+    "dop_to_hard_weight": ("doppler", "hard_weight", True, False),
+    "dop_to_easy_bf": ("doppler", "easy_beamform", True, True),
+    "dop_to_hard_bf": ("doppler", "hard_beamform", True, True),
+    "easy_weight_to_bf": ("easy_weight", "easy_beamform", False, False),
+    "hard_weight_to_bf": ("hard_weight", "hard_beamform", False, False),
+    "easy_bf_to_pc": ("easy_beamform", "pulse_compression", False, False),
+    "hard_bf_to_pc": ("hard_beamform", "pulse_compression", False, False),
+    "pc_to_cfar": ("pulse_compression", "cfar", False, False),
+}
+
+
+@dataclass(frozen=True)
+class TaskTimeModel:
+    """Per-task constants from which ``T_i(P)`` is evaluated."""
+
+    task: str
+    flops: float
+    rate: float
+    #: (bytes, strided) outgoing pack passes.
+    pack: tuple[tuple[int, bool], ...]
+    #: (bytes, strided) incoming unpack passes (plus sensor input for task 0).
+    unpack: tuple[tuple[int, bool], ...]
+    #: Total bytes this task injects into the network per CPI.
+    wire_bytes: int
+    #: Messages sent per CPI with one processor (scales ~1/P per node but
+    #: the per-node *count* of peers stays roughly the peer task size).
+    startup_messages: int
+
+    def seconds(self, nodes: int, machine: Machine) -> float:
+        """Evaluate ``T_i(nodes)``."""
+        if nodes < 1:
+            raise ConfigurationError(f"nodes must be >= 1, got {nodes}")
+        t = machine.node.rates.time_for(self.rate_key, self.flops) / (
+            nodes * machine.node.smp_speedup
+        )
+        pack_cost = machine.packing_cost
+        for nbytes, strided in self.pack:
+            t += pack_cost.copy_time(nbytes, strided=strided) / nodes
+        for nbytes, strided in self.unpack:
+            t += pack_cost.copy_time(nbytes, strided=strided) / nodes
+        net = machine.network_cost
+        t += net.per_byte_s * self.wire_bytes / nodes
+        t += net.startup_s * self.startup_messages / nodes
+        return t
+
+    @property
+    def rate_key(self) -> str:
+        return self.task
+
+
+class AnalyticPipelineModel:
+    """Evaluate throughput/latency of any assignment without simulating."""
+
+    def __init__(self, params: STAPParams, machine: Optional[Machine] = None):
+        self.params = params
+        self.machine = machine or afrl_paragon()
+
+    @cached_property
+    def task_models(self) -> Dict[str, TaskTimeModel]:
+        params = self.params
+        volumes = _edge_volumes(params)
+        flops = flops_mod.all_task_flops(params)
+        pack: Dict[str, list] = {t: [] for t in TASK_NAMES}
+        unpack: Dict[str, list] = {t: [] for t in TASK_NAMES}
+        wire: Dict[str, int] = {t: 0 for t in TASK_NAMES}
+        startup: Dict[str, int] = {t: 0 for t in TASK_NAMES}
+        for edge, (src, dst, pack_strided, unpack_strided) in _EDGE_INFO.items():
+            nbytes = volumes[edge]
+            pack[src].append((nbytes, pack_strided))
+            unpack[dst].append((nbytes, unpack_strided))
+            wire[src] += nbytes
+            startup[src] += 1  # one logical message stream per edge
+        # Sensor input to the Doppler task.
+        sensor = params.cpi_cube_bytes
+        unpack["doppler"].append((sensor, False))
+        wire["doppler"] += sensor
+        models = {}
+        for task in TASK_NAMES:
+            models[task] = TaskTimeModel(
+                task=task,
+                flops=flops[task],
+                rate=self.machine.node.rates.rate(task),
+                pack=tuple(pack[task]),
+                unpack=tuple(unpack[task]),
+                wire_bytes=wire[task],
+                startup_messages=startup[task],
+            )
+        return models
+
+    # -- predictions --------------------------------------------------------------
+    def task_seconds(self, task: str, nodes: int) -> float:
+        """Predicted ``T_i`` for one task at a node count."""
+        return self.task_models[task].seconds(nodes, self.machine)
+
+    def task_times(self, assignment: Assignment) -> Dict[str, float]:
+        """Predicted ``T_i`` for every task of an assignment."""
+        return {
+            task: self.task_seconds(task, assignment.count_of(task))
+            for task in TASK_NAMES
+        }
+
+    def throughput(self, assignment: Assignment) -> float:
+        """Equation (1) on the modeled task times."""
+        return 1.0 / max(self.task_times(assignment).values())
+
+    def latency(self, assignment: Assignment) -> float:
+        """Equation (2) on the modeled task times."""
+        t = self.task_times(assignment)
+        return (
+            t["doppler"]
+            + max(t["easy_beamform"], t["hard_beamform"])
+            + t["pulse_compression"]
+            + t["cfar"]
+        )
+
+    def bottleneck(self, assignment: Assignment) -> str:
+        """The task predicted to limit throughput."""
+        times = self.task_times(assignment)
+        return max(times, key=times.get)

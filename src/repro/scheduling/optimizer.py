@@ -1,0 +1,166 @@
+"""Processor-assignment optimization.
+
+Two objectives, matching Section 4.1.2's tradeoff discussion:
+
+* **throughput** — minimize ``max_i T_i(P_i)`` subject to
+  ``sum P_i <= budget``.  Because each ``T_i`` is decreasing in ``P_i`` and
+  the objective is the maximum, the greedy rule *give the next node to the
+  current bottleneck* is exact (an exchange argument: any optimal solution
+  can be transformed into the greedy one without worsening the bottleneck).
+* **latency** — minimize equation (2)'s critical path
+  ``T_0 + max(T_3, T_4) + T_5 + T_6``, optionally subject to a minimum
+  throughput.  Greedy by steepest marginal descent, with the weight tasks
+  receiving nodes only when they violate the throughput constraint (they
+  are off the latency path — the paper's temporal-dependency trick).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core.assignment import Assignment, TASK_NAMES
+from repro.errors import AssignmentError
+from repro.radar.parameters import STAPParams
+from repro.scheduling.model import AnalyticPipelineModel
+
+
+def _limits(params: STAPParams) -> dict[str, int]:
+    """Max useful nodes per task (its independent work units)."""
+    return {
+        "doppler": params.num_ranges,
+        "easy_weight": params.num_easy_doppler,
+        "hard_weight": params.num_hard_doppler * params.num_segments,
+        "easy_beamform": params.num_easy_doppler,
+        "hard_beamform": params.num_hard_doppler,
+        "pulse_compression": params.num_doppler,
+        "cfar": params.num_doppler,
+    }
+
+
+def _assignment(counts: dict[str, int], name: str) -> Assignment:
+    return Assignment(name=name, **counts)
+
+
+def optimize_throughput(
+    model: AnalyticPipelineModel, budget: int, name: str = ""
+) -> Assignment:
+    """Greedy bottleneck-first allocation of ``budget`` nodes."""
+    num_tasks = len(TASK_NAMES)
+    if budget < num_tasks:
+        raise AssignmentError(
+            f"budget {budget} below the minimum of one node per task ({num_tasks})"
+        )
+    limits = _limits(model.params)
+    counts = {task: 1 for task in TASK_NAMES}
+    remaining = budget - num_tasks
+    while remaining > 0:
+        # Current per-task times; give the node to the worst task that can
+        # still use one.
+        times = {
+            task: model.task_seconds(task, counts[task]) for task in TASK_NAMES
+        }
+        candidates = [t for t in TASK_NAMES if counts[t] < limits[t]]
+        if not candidates:
+            break
+        bottleneck = max(candidates, key=lambda t: times[t])
+        counts[bottleneck] += 1
+        remaining -= 1
+    return _assignment(counts, name or f"opt-throughput({budget})")
+
+
+#: Tasks on the equation-(2) latency critical path.
+_LATENCY_PATH = ("doppler", "easy_beamform", "hard_beamform", "pulse_compression", "cfar")
+
+
+def optimize_latency(
+    model: AnalyticPipelineModel,
+    budget: int,
+    min_throughput: Optional[float] = None,
+    name: str = "",
+) -> Assignment:
+    """Greedy latency descent with an optional throughput floor."""
+    num_tasks = len(TASK_NAMES)
+    if budget < num_tasks:
+        raise AssignmentError(
+            f"budget {budget} below the minimum of one node per task ({num_tasks})"
+        )
+    limits = _limits(model.params)
+    counts = {task: 1 for task in TASK_NAMES}
+    remaining = budget - num_tasks
+
+    def latency_of(counts_):
+        t = {task: model.task_seconds(task, counts_[task]) for task in TASK_NAMES}
+        return (
+            t["doppler"]
+            + max(t["easy_beamform"], t["hard_beamform"])
+            + t["pulse_compression"]
+            + t["cfar"]
+        )
+
+    def throughput_of(counts_):
+        return 1.0 / max(
+            model.task_seconds(task, counts_[task]) for task in TASK_NAMES
+        )
+
+    while remaining > 0:
+        # Satisfy the throughput floor first (weight tasks can only get
+        # nodes through this branch — they are off the latency path).
+        if min_throughput is not None and throughput_of(counts) < min_throughput:
+            times = {t: model.task_seconds(t, counts[t]) for t in TASK_NAMES}
+            candidates = [t for t in TASK_NAMES if counts[t] < limits[t]]
+            if not candidates:
+                break
+            bottleneck = max(candidates, key=lambda t: times[t])
+            counts[bottleneck] += 1
+            remaining -= 1
+            continue
+        base = latency_of(counts)
+        best_task, best_gain = None, 0.0
+        for task in _LATENCY_PATH:
+            if counts[task] >= limits[task]:
+                continue
+            counts[task] += 1
+            gain = base - latency_of(counts)
+            counts[task] -= 1
+            if gain > best_gain:
+                best_task, best_gain = task, gain
+        if best_task is None:
+            break
+        counts[best_task] += 1
+        remaining -= 1
+    return _assignment(counts, name or f"opt-latency({budget})")
+
+
+def exhaustive_search(
+    model: AnalyticPipelineModel,
+    budget: int,
+    objective: str = "throughput",
+    max_per_task: int = 8,
+) -> Assignment:
+    """Brute-force search over all assignments (tiny budgets only).
+
+    Used by tests to certify the greedy allocator; cost grows as
+    ``max_per_task ** 7``, so keep budgets small.
+    """
+    if objective not in ("throughput", "latency"):
+        raise AssignmentError(f"unknown objective {objective!r}")
+    limits = _limits(model.params)
+    best_counts, best_value = None, None
+    spans = [
+        range(1, min(max_per_task, limits[task]) + 1) for task in TASK_NAMES
+    ]
+    for combo in itertools.product(*spans):
+        if sum(combo) > budget:
+            continue
+        counts = dict(zip(TASK_NAMES, combo))
+        assignment = _assignment(counts, "candidate")
+        if objective == "throughput":
+            value = -model.throughput(assignment)
+        else:
+            value = model.latency(assignment)
+        if best_value is None or value < best_value - 1e-15:
+            best_counts, best_value = counts, value
+    if best_counts is None:
+        raise AssignmentError(f"no feasible assignment within budget {budget}")
+    return _assignment(best_counts, f"exhaustive-{objective}({budget})")

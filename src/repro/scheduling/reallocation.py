@@ -1,0 +1,141 @@
+"""Dynamic processor reallocation (the paper's closing requirement).
+
+"Almost all radar applications have real-time constraints.  Hence, a well
+designed system should be able to handle any changes in the requirements on
+the response time by dynamically allocating or re-allocating processors
+among tasks" (Section 8).  This module plans such changes: given the
+current assignment and a new requirement, it computes a *minimal-movement*
+sequence of node moves — each move re-homes one node from a donor task to
+a recipient task — reaching an assignment that satisfies the requirement.
+
+Moves are deliberately granular: re-homing a node means redistributing that
+task pair's data, so fewer moves = less disruption to the running pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.assignment import Assignment, TASK_NAMES
+from repro.errors import AssignmentError
+from repro.scheduling.model import AnalyticPipelineModel
+from repro.scheduling.optimizer import _limits
+
+
+@dataclass(frozen=True)
+class Move:
+    """One reallocation step: move a single node between tasks."""
+
+    from_task: str
+    to_task: str
+
+    def __str__(self) -> str:
+        return f"{self.from_task} -> {self.to_task}"
+
+
+@dataclass
+class ReallocationPlan:
+    """The move sequence and the assignment it produces."""
+
+    moves: list[Move]
+    result: Assignment
+    predicted_throughput: float
+    predicted_latency: float
+
+    @property
+    def num_moves(self) -> int:
+        return len(self.moves)
+
+    def summary(self) -> str:
+        steps = ", ".join(str(m) for m in self.moves) or "(no change needed)"
+        return (
+            f"{self.num_moves} move(s): {steps}  ->  "
+            f"throughput {self.predicted_throughput:.3f} CPIs/s, "
+            f"latency {self.predicted_latency:.4f} s"
+        )
+
+
+def _counts(assignment: Assignment) -> dict[str, int]:
+    return {task: assignment.count_of(task) for task in TASK_NAMES}
+
+
+def plan_reallocation(
+    model: AnalyticPipelineModel,
+    current: Assignment,
+    target_throughput: Optional[float] = None,
+    target_latency: Optional[float] = None,
+    max_moves: int = 64,
+) -> ReallocationPlan:
+    """Plan minimal node moves meeting the new requirement.
+
+    Greedy: while the requirement is unmet, move one node from the task
+    whose loss hurts the violated metric least to the task whose gain helps
+    it most.  Raises :class:`AssignmentError` if the requirement cannot be
+    met by redistributing the current node total.
+    """
+    if target_throughput is None and target_latency is None:
+        raise AssignmentError("specify target_throughput and/or target_latency")
+    limits = _limits(model.params)
+    counts = _counts(current)
+    moves: list[Move] = []
+
+    def assignment_of(counts_):
+        return Assignment(name="reallocated", **counts_)
+
+    def satisfied(counts_) -> bool:
+        a = assignment_of(counts_)
+        if target_throughput is not None and model.throughput(a) < target_throughput:
+            return False
+        if target_latency is not None and model.latency(a) > target_latency:
+            return False
+        return True
+
+    def objective(counts_) -> float:
+        """Violation magnitude (0 when satisfied); ties broken by slack."""
+        a = assignment_of(counts_)
+        violation = 0.0
+        if target_throughput is not None:
+            violation += max(0.0, target_throughput - model.throughput(a))
+        if target_latency is not None:
+            violation += max(0.0, model.latency(a) - target_latency) * 10.0
+        return violation
+
+    while not satisfied(counts):
+        if len(moves) >= max_moves:
+            raise AssignmentError(
+                f"requirement not reachable within {max_moves} moves from "
+                f"{current.name or current.counts()}"
+            )
+        best = None
+        base = objective(counts)
+        for donor in TASK_NAMES:
+            if counts[donor] <= 1:
+                continue
+            for recipient in TASK_NAMES:
+                if recipient == donor or counts[recipient] >= limits[recipient]:
+                    continue
+                counts[donor] -= 1
+                counts[recipient] += 1
+                score = objective(counts)
+                counts[donor] += 1
+                counts[recipient] -= 1
+                if best is None or score < best[0]:
+                    best = (score, donor, recipient)
+        if best is None or best[0] >= base:
+            raise AssignmentError(
+                "no single-node move improves the requirement; the target "
+                f"is infeasible with {current.total_nodes} nodes"
+            )
+        _score, donor, recipient = best
+        counts[donor] -= 1
+        counts[recipient] += 1
+        moves.append(Move(donor, recipient))
+
+    result = assignment_of(counts)
+    return ReallocationPlan(
+        moves=moves,
+        result=result,
+        predicted_throughput=model.throughput(result),
+        predicted_latency=model.latency(result),
+    )

@@ -1,0 +1,56 @@
+"""STAP signal processing: the numerical algorithms of Appendix B.
+
+This package implements, in NumPy, every processing step of the
+PRI-staggered post-Doppler STAP algorithm the paper parallelizes:
+
+1. Doppler filter processing with PRI stagger (:mod:`repro.stap.doppler`);
+2. beam-constrained least-squares weight computation — direct QR for easy
+   Doppler bins (:mod:`repro.stap.easy_weights`) and recursive,
+   exponentially-forgotten QR updates for hard bins
+   (:mod:`repro.stap.hard_weights`), both on the shared linear-algebra
+   kernels in :mod:`repro.stap.lsq`;
+3. beamforming (:mod:`repro.stap.beamform`);
+4. fast-convolution pulse compression (:mod:`repro.stap.pulse_compression`);
+5. sliding-window cell-averaging CFAR (:mod:`repro.stap.cfar`).
+
+:mod:`repro.stap.reference` chains them into the sequential golden
+reference — same temporal semantics as the parallel pipeline (weights
+trained on CPI *i-1* are applied to CPI *i*) — and
+:mod:`repro.stap.flops` provides the analytic operation counts behind the
+paper's Table 1.
+"""
+
+from repro.stap.doppler import doppler_filter
+from repro.stap.lsq import qr_factor, qr_append_rows, solve_constrained, quiescent_weights
+from repro.stap.easy_weights import EasyWeightComputer
+from repro.stap.hard_weights import HardWeightComputer
+from repro.stap.beamform import beamform_easy, beamform_hard, assemble_beamformed
+from repro.stap.pulse_compression import pulse_compress
+from repro.stap.cfar import cfar_threshold_factor, cfar_detect, Detection
+from repro.stap.detection import DetectionReport
+from repro.stap.reference import SequentialSTAP
+from repro.stap import flops
+from repro.stap import sinr
+from repro.stap import angle_doppler
+
+__all__ = [
+    "doppler_filter",
+    "qr_factor",
+    "qr_append_rows",
+    "solve_constrained",
+    "quiescent_weights",
+    "EasyWeightComputer",
+    "HardWeightComputer",
+    "beamform_easy",
+    "beamform_hard",
+    "assemble_beamformed",
+    "pulse_compress",
+    "cfar_threshold_factor",
+    "cfar_detect",
+    "Detection",
+    "DetectionReport",
+    "SequentialSTAP",
+    "flops",
+    "sinr",
+    "angle_doppler",
+]

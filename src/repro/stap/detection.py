@@ -1,0 +1,56 @@
+"""Detection reports: the pipeline's output product.
+
+"The output of the pipeline is a report on the detection of possible
+targets" (Section 5) — "a list of targets at specified ranges, Doppler
+frequencies, and look directions" (Section 5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.stap.cfar import Detection
+
+
+@dataclass
+class DetectionReport:
+    """All CFAR detections for one CPI."""
+
+    cpi_index: int
+    detections: tuple[Detection, ...] = ()
+    #: Virtual time at which the report became available (filled in by the
+    #: pipeline; NaN for the sequential reference).
+    completed_at: float = float("nan")
+
+    def __len__(self) -> int:
+        return len(self.detections)
+
+    def index_set(self) -> set[tuple[int, int, int]]:
+        """(doppler_bin, beam, range_cell) triples, for set comparison."""
+        return {(d.doppler_bin, d.beam, d.range_cell) for d in self.detections}
+
+    def same_detections(self, other: "DetectionReport", rtol: float = 1e-5) -> bool:
+        """True if both reports contain the same cells with matching powers.
+
+        Used to assert that the parallel pipeline and the sequential
+        reference produce identical products (up to floating-point
+        reassociation across partition boundaries).
+        """
+        if self.index_set() != other.index_set():
+            return False
+        mine = {(d.doppler_bin, d.beam, d.range_cell): d for d in self.detections}
+        for d in other.detections:
+            ref = mine[(d.doppler_bin, d.beam, d.range_cell)]
+            if not np.isclose(ref.power, d.power, rtol=rtol):
+                return False
+        return True
+
+    def ranges_detected(self) -> set[int]:
+        """Distinct range cells with at least one crossing."""
+        return {d.range_cell for d in self.detections}
+
+    def strongest(self, count: int = 5) -> list[Detection]:
+        """The ``count`` largest-margin detections."""
+        return sorted(self.detections, key=lambda d: -d.margin_db)[:count]

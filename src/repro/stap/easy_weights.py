@@ -1,0 +1,160 @@
+"""Easy-bin weight computation (pipeline tasks 1: "easy weight").
+
+Easy Doppler bins are well separated from mainbeam clutter, so a single
+Doppler window (the first J staggered channels) and a spatial-only null
+suffice — "Post Doppler Adaptive Beamforming ... quite effective at a
+fraction of the computational cost" (Section 3).
+
+Training: "the entire training set was drawn from three preceding CPIs for
+application to the next CPI in this azimuth beam position" — a sliding
+window of the last three visits, ``easy_train_per_cpi`` range samples each,
+followed by "a regular (non-recursive) QR decomposition ... followed by
+block update to add in the beam shape constraints" (Section 3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.radar.parameters import STAPParams
+from repro.stap.lsq import qr_factor, solve_constrained, quiescent_weights
+
+#: Number of preceding CPIs whose samples form the easy training set.
+HISTORY_LENGTH = 3
+
+
+def select_range_samples(num_ranges: int, count: int) -> np.ndarray:
+    """Indices of ``count`` range cells spaced evenly over ``[0, num_ranges)``.
+
+    Used both here and by the Doppler task's *data collection* step — the
+    sender gathers exactly these cells so no redundant data crosses the
+    network (Figure 6b).
+    """
+    if count > num_ranges:
+        raise ConfigurationError(
+            f"cannot draw {count} training samples from {num_ranges} range cells"
+        )
+    return np.linspace(0, num_ranges, count, endpoint=False).astype(int)
+
+
+def extract_easy_training(staggered: np.ndarray, params: STAPParams) -> np.ndarray:
+    """Training block for every easy bin from one staggered CPI.
+
+    Parameters
+    ----------
+    staggered:
+        Doppler-filtered cube (N, 2J, K).
+
+    Returns
+    -------
+    numpy.ndarray
+        (N_easy, easy_train_per_cpi, J): per easy bin, the selected range
+        samples of the *first* Doppler window ("only range samples in the
+        first half of the staggered CPI data are used", Section 5.2).
+
+        Rows are **conjugated** snapshots: with beamforming defined as
+        ``y = w^H x``, the residual of the least-squares system ``X w = 0``
+        then equals the beamformer's clutter output, so minimizing it
+        places the nulls where the output needs them.
+    """
+    J = params.num_channels
+    sel = select_range_samples(params.num_ranges, params.easy_train_per_cpi)
+    # (N_easy, J, count) -> (N_easy, count, J)
+    block = staggered[params.easy_bins][:, :J, :][:, :, sel]
+    return np.conj(np.transpose(block, (0, 2, 1)))
+
+
+def compute_easy_weights(
+    stacked: np.ndarray, steering: np.ndarray, kappa: float
+) -> np.ndarray:
+    """Easy weights from stacked training: (B, n, J) -> (B, J, M).
+
+    ``stacked`` holds, per Doppler bin, the concatenated (conjugated)
+    training rows of up to three CPIs.  This is the shared per-bin kernel:
+    the sequential reference calls it over all easy bins, the parallel easy
+    weight task over just the bins its processor owns — guaranteeing
+    identical numerics.
+    """
+    stacked = np.asarray(stacked)
+    if stacked.ndim != 3:
+        raise ConfigurationError(
+            f"training stack must be (bins, rows, J), got shape {stacked.shape}"
+        )
+    num_bins, _rows, J = stacked.shape
+    identity = np.eye(J, dtype=complex)
+    weights = np.empty((num_bins, J, steering.shape[1]), dtype=complex)
+    for idx in range(num_bins):
+        data = stacked[idx]
+        scale = float(np.mean(np.abs(data)))
+        if scale <= 0.0:
+            scale = 1.0
+        # Regular QR of the training data, then the constraint block is
+        # appended (the "block update to add in the beam shape constraints").
+        r_data = qr_factor(data)
+        constraint = kappa * scale * identity
+        weights[idx] = solve_constrained(r_data, constraint, steering)
+    return weights
+
+
+class EasyWeightComputer:
+    """Stateful easy-bin weight computation with per-azimuth history."""
+
+    def __init__(self, params: STAPParams, steering: np.ndarray):
+        """``steering``: (J, M) matrix of receive-beam steering vectors."""
+        steering = np.asarray(steering, dtype=complex)
+        if steering.shape != (params.num_channels, params.num_beams):
+            raise ConfigurationError(
+                f"steering shape {steering.shape} != "
+                f"({params.num_channels}, {params.num_beams})"
+            )
+        self.params = params
+        self.steering = steering
+        self._history: Dict[int, Deque[np.ndarray]] = {}
+
+    # -- state -----------------------------------------------------------------
+    def push_training(self, training: np.ndarray, azimuth: int = 0) -> None:
+        """Record one CPI's training block (output of extract_easy_training)."""
+        params = self.params
+        expected = (
+            params.num_easy_doppler,
+            params.easy_train_per_cpi,
+            params.num_channels,
+        )
+        training = np.asarray(training)
+        if training.shape != expected:
+            raise ConfigurationError(
+                f"easy training shape {training.shape} != {expected}"
+            )
+        history = self._history.setdefault(azimuth, deque(maxlen=HISTORY_LENGTH))
+        history.append(training)
+
+    def history_depth(self, azimuth: int = 0) -> int:
+        """Number of CPIs of training currently held for ``azimuth``."""
+        return len(self._history.get(azimuth, ()))
+
+    # -- weights -------------------------------------------------------------
+    def compute_weights(self, azimuth: int = 0) -> np.ndarray:
+        """Weights for the *next* CPI in this azimuth: (N_easy, J, M).
+
+        Before any training exists, returns quiescent (steering-only)
+        weights so the chain degrades to conventional beamforming.
+        """
+        params = self.params
+        history = self._history.get(azimuth)
+        n_easy, J, M = (
+            params.num_easy_doppler,
+            params.num_channels,
+            params.num_beams,
+        )
+        if not history:
+            weights = np.empty((n_easy, J, M), dtype=complex)
+            weights[:] = quiescent_weights(self.steering)[None, :, :]
+            return weights
+        stacked = np.concatenate(list(history), axis=1)  # (N_easy, <=3c, J)
+        return compute_easy_weights(
+            stacked, self.steering, params.beam_constraint_weight
+        )

@@ -1,0 +1,168 @@
+"""Analytic floating-point operation counts (the paper's Table 1).
+
+Counting conventions (real flops):
+
+* complex multiply-accumulate: 8 flops (4 mult + 4 add);
+* radix-2 complex FFT of length n: ``5 n log2(n)`` flops;
+* Householder QR of a complex m x n matrix (m >= n): ``8 (m n^2 - n^3/3)``;
+* per-beam constrained solve: fitted constants documented below.
+
+With the defaults (K=512, J=16, N=128, M=6, N_easy=72, N_hard=56, 96 easy /
+32 hard training samples) five of the seven task counts match the paper's
+Table 1 *exactly* and the two weight tasks match within 0.02 % — the
+residue is the paper's unstated flop accounting of its triangular solves.
+The paper's exact numbers are kept in :data:`PAPER_TABLE1` for comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.radar.parameters import STAPParams
+
+#: Table 1 of the paper, verbatim.
+PAPER_TABLE1: Dict[str, int] = {
+    "doppler": 79_691_776,
+    "hard_weight": 197_038_464,
+    "easy_weight": 13_851_792,
+    "easy_beamform": 28_311_552,
+    "hard_beamform": 44_040_192,
+    "pulse_compression": 38_928_384,
+    "cfar": 1_690_368,
+    "total": 403_552_528,
+}
+
+
+def fft_flops(length: int) -> float:
+    """Complex FFT cost: 5 n log2(n)."""
+    if length < 1:
+        return 0.0
+    return 5.0 * length * math.log2(length)
+
+
+def qr_flops(rows: int, cols: int) -> float:
+    """Complex Householder QR cost: 8 (m n^2 - n^3 / 3)."""
+    m, n = float(rows), float(cols)
+    return 8.0 * (m * n * n - n**3 / 3.0)
+
+
+def doppler_flops(params: STAPParams) -> float:
+    """Task 0: K*2J FFTs of length N plus windowing/range correction.
+
+    Per (range cell, staggered channel): one N-point FFT (5 N log2 N) plus
+    3N for the window multiply and range correction.  Exactly 79,691,776 at
+    paper scale.
+    """
+    K, J, N = params.num_ranges, params.num_channels, params.num_pulses
+    per_line = fft_flops(N) + 3.0 * N
+    return K * 2 * J * per_line
+
+
+def easy_weight_flops(params: STAPParams) -> float:
+    """Task 1: N_easy QR factorizations + M constrained solves each.
+
+    Per easy bin: QR of the (3 * easy_train_per_cpi) x J training stack,
+    then per beam a constraint application and triangular back substitution
+    costed at ``4 J^2 + 6 J`` (fitted; reproduces the paper's count to
+    0.02 %).
+    """
+    J, M = params.num_channels, params.num_beams
+    per_bin = qr_flops(params.easy_train_total, J) + M * (4.0 * J * J + 6.0 * J)
+    return params.num_easy_doppler * per_bin
+
+
+def hard_weight_flops(params: STAPParams) -> float:
+    """Task 2: 6 * N_hard recursive QR updates + M solves each.
+
+    Per (segment, hard bin): block QR of the stacked
+    ``[R_old (2J); new samples (hard_train_samples); constraints (J)]``
+    rows over 2J columns, then per beam a back substitution costed at
+    ``3 (2J)^2`` (fitted; reproduces the paper's count to 0.01 %).
+    """
+    n2 = params.num_staggered_channels
+    M = params.num_beams
+    rows = n2 + params.hard_train_samples + params.num_channels
+    per_update = qr_flops(rows, n2) + M * (3.0 * n2 * n2)
+    return params.num_segments * params.num_hard_doppler * per_update
+
+
+def easy_beamform_flops(params: STAPParams) -> float:
+    """Task 3: N_easy complex matrix products (M x J)(J x K) — 8MJK each."""
+    return (
+        params.num_easy_doppler
+        * 8.0
+        * params.num_beams
+        * params.num_channels
+        * params.num_ranges
+    )
+
+
+def hard_beamform_flops(params: STAPParams) -> float:
+    """Task 4: N_hard bins x (M x 2J)(2J x K) products across the segments.
+
+    The segments partition the K range cells, so the total work per hard
+    bin equals one full-range product: 8 M (2J) K.
+    """
+    return (
+        params.num_hard_doppler
+        * 8.0
+        * params.num_beams
+        * params.num_staggered_channels
+        * params.num_ranges
+    )
+
+
+def pulse_compression_flops(params: STAPParams) -> float:
+    """Task 5: per (bin, beam): forward+inverse K-FFT, K complex products,
+    magnitude-squares — ``10 K log2 K + 9 K``.  Exact at paper scale."""
+    K = params.num_ranges
+    per_line = 2.0 * fft_flops(K) + 6.0 * K + 3.0 * K
+    return params.num_doppler * params.num_beams * per_line
+
+
+def cfar_flops(params: STAPParams) -> float:
+    """Task 6: sliding-window sums + compare: ``4K + 153`` per (bin, beam).
+
+    4 flops/cell (two window-edge updates, scale, compare) plus a fitted
+    153-flop per-row window set-up; exactly 1,690,368 at paper scale.
+    """
+    K = params.num_ranges
+    return params.num_doppler * params.num_beams * (4.0 * K + 153.0)
+
+
+#: Task name -> flop function, in pipeline order.
+TASK_FLOPS = {
+    "doppler": doppler_flops,
+    "easy_weight": easy_weight_flops,
+    "hard_weight": hard_weight_flops,
+    "easy_beamform": easy_beamform_flops,
+    "hard_beamform": hard_beamform_flops,
+    "pulse_compression": pulse_compression_flops,
+    "cfar": cfar_flops,
+}
+
+
+def all_task_flops(params: STAPParams) -> Dict[str, float]:
+    """Flop count per task plus the total, mirroring Table 1."""
+    counts = {name: fn(params) for name, fn in TASK_FLOPS.items()}
+    counts["total"] = sum(counts.values())
+    return counts
+
+
+def flops_table(params: STAPParams) -> str:
+    """Printable paper-vs-model comparison of Table 1."""
+    counts = all_task_flops(params)
+    lines = [
+        f"{'task':<20} {'model flops':>15} {'paper flops':>15} {'error %':>9}",
+        "-" * 62,
+    ]
+    for name in list(TASK_FLOPS) + ["total"]:
+        model = counts[name]
+        paper = PAPER_TABLE1.get(name)
+        if paper:
+            err = 100.0 * (model - paper) / paper
+            lines.append(f"{name:<20} {model:>15,.0f} {paper:>15,} {err:>8.3f}%")
+        else:
+            lines.append(f"{name:<20} {model:>15,.0f} {'-':>15} {'-':>9}")
+    return "\n".join(lines)

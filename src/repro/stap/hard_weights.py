@@ -1,0 +1,203 @@
+"""Hard-bin weight computation (pipeline task 2: "hard weight").
+
+Hard Doppler bins compete with mainbeam clutter, so both staggered Doppler
+windows (2J channels) are adapted jointly, with *separate weights for six
+consecutive range intervals* (Section 3).  Each range segment offers only
+one sixth of the range extent for training, so the recursion "dealt with the
+paucity of data by using past looks at the same azimuth, exponentially
+forgotten, as independent, identically distributed estimates of the clutter"
+— a recursive QR update with forgetting factor 0.6 (Appendix B).
+
+The per-(segment, bin) recursion state is the 2J x 2J R factor; an update
+appends ``hard_train_samples`` fresh rows via the block QR update of
+:func:`repro.stap.lsq.qr_append_rows`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.radar.parameters import STAPParams
+from repro.stap.doppler import stagger_phase
+from repro.stap.easy_weights import select_range_samples
+from repro.stap.lsq import qr_append_rows, solve_constrained, quiescent_weights
+
+
+def extract_hard_training(staggered: np.ndarray, params: STAPParams) -> np.ndarray:
+    """Training blocks for every (segment, hard bin) from one staggered CPI.
+
+    Returns (num_segments, N_hard, hard_train_samples, 2J): per segment and
+    hard bin, range samples drawn evenly across that segment, using *both*
+    Doppler windows ("hard weight computation employs range samples from the
+    entire staggered CPI", Section 5.2).
+
+    As with the easy training, rows are **conjugated** snapshots so that the
+    least-squares residual equals the ``w^H x`` beamformer output on the
+    training clutter.
+    """
+    out = np.empty(
+        (
+            params.num_segments,
+            params.num_hard_doppler,
+            params.hard_train_samples,
+            params.num_staggered_channels,
+        ),
+        dtype=staggered.dtype,
+    )
+    hard = staggered[params.hard_bins]  # (N_hard, 2J, K)
+    for seg_idx, seg in enumerate(params.segment_slices):
+        seg_len = seg.stop - seg.start
+        count = min(params.hard_train_samples, seg_len)
+        sel = seg.start + select_range_samples(seg_len, count)
+        block = hard[:, :, sel]  # (N_hard, 2J, count)
+        block = np.conj(np.transpose(block, (0, 2, 1)))  # (N_hard, count, 2J)
+        if count < params.hard_train_samples:
+            pad = np.zeros(
+                (
+                    params.num_hard_doppler,
+                    params.hard_train_samples - count,
+                    params.num_staggered_channels,
+                ),
+                dtype=staggered.dtype,
+            )
+            block = np.concatenate([block, pad], axis=1)
+        out[seg_idx] = block
+    return out
+
+
+def update_r_block(state: np.ndarray, training: np.ndarray, forget: float) -> None:
+    """Absorb training rows into a block of R factors, in place.
+
+    ``state``: (S, B, 2J, 2J) per-(segment, bin) R factors;
+    ``training``: (S, B, rows, 2J) conjugated training rows.  The shared
+    recursion kernel of the sequential reference and the parallel hard
+    weight task.
+    """
+    num_segments, num_bins = state.shape[:2]
+    for seg in range(num_segments):
+        for bin_idx in range(num_bins):
+            state[seg, bin_idx] = qr_append_rows(
+                state[seg, bin_idx], training[seg, bin_idx], forget=forget
+            )
+
+
+def compute_hard_weights(
+    state: np.ndarray,
+    steering: np.ndarray,
+    phases: np.ndarray,
+    beam_weight: float,
+    freq_weight: float,
+) -> np.ndarray:
+    """Hard weights from R factors: (S, B, 2J, 2J) -> (S, B, 2J, M).
+
+    ``phases``: per-bin stagger phase (length B).  The constraint block
+    couples the two Doppler windows: for bin ``n`` with stagger phase
+    ``p_n``, the J rows ``[bw*I | fw*conj(p_n)*I]`` with right-hand side
+    ``w_s`` pull the solution toward the coherent staggered combiner
+    ``[w_s; p_n w_s] / 2`` while the data R factor supplies clutter nulls.
+    """
+    num_segments, num_bins, n2, _ = state.shape
+    J = n2 // 2
+    M = steering.shape[1]
+    identity = np.eye(J, dtype=complex)
+    weights = np.empty((num_segments, num_bins, n2, M), dtype=complex)
+    for seg in range(num_segments):
+        for bin_idx in range(num_bins):
+            r_data = state[seg, bin_idx]
+            scale = float(np.mean(np.abs(np.diag(r_data))))
+            if scale <= 0.0:
+                scale = 1.0
+            constraint = scale * np.hstack(
+                [
+                    beam_weight * identity,
+                    freq_weight * np.conj(phases[bin_idx]) * identity,
+                ]
+            )
+            weights[seg, bin_idx] = solve_constrained(r_data, constraint, steering)
+    return weights
+
+
+class HardWeightComputer:
+    """Stateful hard-bin weight computation: recursive QR per segment/bin."""
+
+    def __init__(self, params: STAPParams, steering: np.ndarray):
+        """``steering``: (J, M) receive-beam steering matrix."""
+        steering = np.asarray(steering, dtype=complex)
+        if steering.shape != (params.num_channels, params.num_beams):
+            raise ConfigurationError(
+                f"steering shape {steering.shape} != "
+                f"({params.num_channels}, {params.num_beams})"
+            )
+        self.params = params
+        self.steering = steering
+        # azimuth -> (num_segments, N_hard, 2J, 2J) R factors.
+        self._r_state: Dict[int, np.ndarray] = {}
+        #: Per-bin expected phase of the late Doppler window w.r.t. the
+        #: early one; the frequency-constraint factor of Appendix B.
+        self._phases = stagger_phase(params, params.hard_bins)
+
+    # -- state ---------------------------------------------------------------
+    def _state_for(self, azimuth: int) -> np.ndarray:
+        state = self._r_state.get(azimuth)
+        if state is None:
+            n2 = self.params.num_staggered_channels
+            state = np.zeros(
+                (self.params.num_segments, self.params.num_hard_doppler, n2, n2),
+                dtype=complex,
+            )
+            self._r_state[azimuth] = state
+        return state
+
+    def has_history(self, azimuth: int = 0) -> bool:
+        """True once at least one update has been absorbed for ``azimuth``."""
+        state = self._r_state.get(azimuth)
+        return state is not None and bool(np.any(state != 0))
+
+    def update(self, training: np.ndarray, azimuth: int = 0) -> None:
+        """Absorb one CPI's training (output of extract_hard_training)."""
+        params = self.params
+        expected = (
+            params.num_segments,
+            params.num_hard_doppler,
+            params.hard_train_samples,
+            params.num_staggered_channels,
+        )
+        training = np.asarray(training)
+        if training.shape != expected:
+            raise ConfigurationError(
+                f"hard training shape {training.shape} != {expected}"
+            )
+        state = self._state_for(azimuth)
+        update_r_block(state, training, params.forgetting_factor)
+
+    # -- weights -------------------------------------------------------------
+    def compute_weights(self, azimuth: int = 0) -> np.ndarray:
+        """Weights for the next CPI: (num_segments, N_hard, 2J, M).
+
+        Before any training exists, returns the per-bin coherent staggered
+        quiescent weights ``[w_s; p_n w_s] / sqrt(2)``.
+        """
+        params = self.params
+        M = params.num_beams
+        n2 = params.num_staggered_channels
+        state = self._r_state.get(azimuth)
+        if state is None or not np.any(state != 0):
+            weights = np.empty(
+                (params.num_segments, params.num_hard_doppler, n2, M), dtype=complex
+            )
+            for bin_idx, phase in enumerate(self._phases):
+                quiescent = quiescent_weights(
+                    self.steering, copies=2, phases=[1.0, phase]
+                )
+                weights[:, bin_idx] = quiescent[None, :, :]
+            return weights
+        return compute_hard_weights(
+            state,
+            self.steering,
+            self._phases,
+            params.beam_constraint_weight,
+            params.freq_constraint_weight,
+        )

@@ -1,0 +1,147 @@
+"""Shared linear-algebra kernels: QR factorization, block updates, solves.
+
+The weight-computation algorithm (Appendix A) is a *beam-constrained least
+squares* problem: find ``w`` minimizing ``|| [X; kI] w - [0; k ws] ||``.
+Because the data matrix ``X`` is independent of the steering vector, its QR
+factorization is computed once and reused for all receive beams — "the QR
+factorization of M needs to be performed only once for a given data set"
+— which these kernels make explicit:
+
+* :func:`qr_factor` — R factor of a (possibly tall) complex matrix;
+* :func:`qr_append_rows` — block QR update: R factor of ``[R_old; rows]``
+  without revisiting old data (the recursion behind the hard-bin weights);
+* :func:`solve_constrained` — given the data R factor, apply the constraint
+  block and back-substitute for every beam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.errors import ConfigurationError
+
+
+def qr_factor(matrix: np.ndarray) -> np.ndarray:
+    """Upper-trapezoidal R factor of ``matrix`` (economy QR, n x n output).
+
+    For an m x n input with m >= n, returns the n x n upper-triangular R
+    with ``R^H R == matrix^H matrix``.  For m < n the top m rows are the
+    R factor and the result is zero-padded to n x n so that callers can
+    treat R as a fixed-size recursion state.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ConfigurationError(f"qr_factor expects a matrix, got ndim={matrix.ndim}")
+    m, n = matrix.shape
+    if m == 0:
+        return np.zeros((n, n), dtype=complex)
+    r = scipy.linalg.qr(matrix, mode="r")[0]
+    if r.shape[0] < n:
+        out = np.zeros((n, n), dtype=r.dtype)
+        out[: r.shape[0], :] = r
+        return out
+    return np.ascontiguousarray(r[:n, :])
+
+
+def qr_append_rows(r_old: np.ndarray, rows: np.ndarray, forget: float = 1.0) -> np.ndarray:
+    """Block QR update: R factor of ``[forget * R_old; rows]``.
+
+    This is the "block update form of the QR decomposition" of Section 3.
+    With ``forget < 1`` old data is exponentially down-weighted — the
+    recursive hard-bin training with forgetting factor 0.6 (Appendix B's
+    ``forgettingFactor``).
+
+    The information-matrix identity being maintained::
+
+        R_new^H R_new = forget^2 * R_old^H R_old + rows^H rows
+    """
+    r_old = np.asarray(r_old)
+    rows = np.atleast_2d(np.asarray(rows))
+    n = r_old.shape[1]
+    if r_old.shape != (n, n):
+        raise ConfigurationError(f"R state must be square, got {r_old.shape}")
+    if rows.shape[1] != n:
+        raise ConfigurationError(
+            f"appended rows have {rows.shape[1]} columns, expected {n}"
+        )
+    if not (0.0 < forget <= 1.0):
+        raise ConfigurationError(f"forget factor must be in (0,1], got {forget}")
+    stacked = np.vstack([forget * r_old, rows])
+    return qr_factor(stacked)
+
+
+def solve_constrained(
+    r_data: np.ndarray,
+    constraint: np.ndarray,
+    steering_rhs: np.ndarray,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Solve the beam-constrained least-squares problem for every beam.
+
+    Minimizes, independently per beam ``m``::
+
+        || [R_data; C] w_m - [0; rhs[:, m]] ||
+
+    where ``R_data`` (n x n) summarizes the clutter training data and ``C``
+    is the constraint block (identity-like rows scaled by the data level —
+    Appendix A Figure 13).  Returns weights of shape (n, num_beams),
+    optionally normalized to unit length per beam ("we normalize the
+    resulting weight vector to unit length").
+
+    The solve costs one QR of the small stacked system plus a triangular
+    back substitution per beam; rank deficiency (early CPIs, before the
+    recursion has accumulated enough looks) falls back to ``lstsq``.
+    """
+    r_data = np.asarray(r_data)
+    constraint = np.atleast_2d(np.asarray(constraint))
+    steering_rhs = np.atleast_2d(np.asarray(steering_rhs))
+    n = r_data.shape[1]
+    if constraint.shape[1] != n:
+        raise ConfigurationError(
+            f"constraint has {constraint.shape[1]} columns, expected {n}"
+        )
+    if steering_rhs.shape[0] != constraint.shape[0]:
+        raise ConfigurationError(
+            "steering rhs rows must match constraint rows: "
+            f"{steering_rhs.shape[0]} vs {constraint.shape[0]}"
+        )
+    stacked = np.vstack([r_data, constraint])
+    rhs = np.vstack(
+        [
+            np.zeros((r_data.shape[0], steering_rhs.shape[1]), dtype=complex),
+            steering_rhs.astype(complex),
+        ]
+    )
+    # One QR of the stacked system, shared across beams.
+    q, r = scipy.linalg.qr(stacked, mode="economic")
+    qtb = q.conj().T @ rhs
+    diag = np.abs(np.diag(r))
+    if diag.size < n or np.any(diag < 1e-10 * max(diag.max(initial=0.0), 1.0)):
+        weights, *_ = np.linalg.lstsq(stacked, rhs, rcond=None)
+    else:
+        weights = scipy.linalg.solve_triangular(r, qtb)
+    if normalize:
+        norms = np.linalg.norm(weights, axis=0)
+        norms[norms == 0.0] = 1.0
+        weights = weights / norms
+    return weights
+
+
+def quiescent_weights(steering: np.ndarray, copies: int = 1, phases=None) -> np.ndarray:
+    """Non-adaptive (steering-only) weights, used before any training exists.
+
+    For the staggered (2J) case pass ``copies=2`` and the per-bin stagger
+    phase for the second copy; the result is unit-norm per beam.
+    """
+    steering = np.atleast_2d(np.asarray(steering, dtype=complex))
+    if copies == 1:
+        blocks = [steering]
+    else:
+        if phases is None:
+            phases = [1.0] * copies
+        blocks = [steering * phases[c] for c in range(copies)]
+    weights = np.vstack(blocks)
+    norms = np.linalg.norm(weights, axis=0)
+    norms[norms == 0.0] = 1.0
+    return weights / norms

@@ -1,0 +1,22 @@
+"""Small shared helpers: unit formatting, validation, deterministic RNG."""
+
+from repro.utils.units import format_bytes, format_seconds, format_flops
+from repro.utils.validation import (
+    check_positive_int,
+    check_nonnegative,
+    check_in_range,
+    check_probability,
+)
+from repro.utils.rng import rng_from_seed, child_seed
+
+__all__ = [
+    "format_bytes",
+    "format_seconds",
+    "format_flops",
+    "check_positive_int",
+    "check_nonnegative",
+    "check_in_range",
+    "check_probability",
+    "rng_from_seed",
+    "child_seed",
+]

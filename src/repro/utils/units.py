@@ -1,0 +1,50 @@
+"""Human-readable formatting of bytes / seconds / flops.
+
+These are used by example scripts and the benchmark harness when printing
+paper-style tables; they intentionally mirror the precision the paper uses
+(4 decimal places for seconds).
+"""
+
+from __future__ import annotations
+
+_BYTE_UNITS = ["B", "KiB", "MiB", "GiB", "TiB"]
+_FLOP_UNITS = ["flops", "Kflops", "Mflops", "Gflops", "Tflops"]
+
+
+def format_bytes(nbytes: float) -> str:
+    """Format a byte count with a binary-prefix unit, e.g. ``16.78 MiB``."""
+    value = float(nbytes)
+    for unit in _BYTE_UNITS:
+        if abs(value) < 1024.0 or unit == _BYTE_UNITS[-1]:
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration the way the paper's tables do.
+
+    Sub-second values are printed with 4 decimals (``.0874 s``); larger
+    values with 3 significant sub-second digits (``2.350 s``).
+    """
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds < 1.0:
+        return f"{seconds:.4f} s"
+    if seconds < 1000.0:
+        return f"{seconds:.3f} s"
+    return f"{seconds:.1f} s"
+
+
+def format_flops(flops: float) -> str:
+    """Format an operation count with a decimal-prefix unit."""
+    value = float(flops)
+    for unit in _FLOP_UNITS:
+        if abs(value) < 1000.0 or unit == _FLOP_UNITS[-1]:
+            if unit == "flops":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,45 @@
+"""Argument-validation helpers shared across the package.
+
+All raise :class:`repro.errors.ConfigurationError` so that bad user input
+surfaces as a library error, distinct from internal assertion failures.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def check_positive_int(value, name: str) -> int:
+    """Return ``value`` if it is a positive integer, else raise."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_nonnegative(value, name: str) -> float:
+    """Return ``value`` if it is a non-negative number, else raise."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}") from None
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_in_range(value, name: str, low, high) -> float:
+    """Return ``value`` if ``low <= value <= high``, else raise."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_probability(value, name: str) -> float:
+    """Return ``value`` if it lies in the open interval (0, 1), else raise."""
+    value = float(value)
+    if not (0.0 < value < 1.0):
+        raise ConfigurationError(f"{name} must be in (0, 1), got {value}")
+    return value

@@ -1,0 +1,51 @@
+"""Shared fixtures: toy parameter sets, scenarios, and streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CPIStream, RadarScenario, STAPParams, TargetTruth
+
+
+@pytest.fixture
+def tiny_params() -> STAPParams:
+    """Smallest legal configuration (fast unit tests)."""
+    return STAPParams.tiny()
+
+
+@pytest.fixture
+def small_params() -> STAPParams:
+    """Mid-size configuration (integration tests)."""
+    return STAPParams.small()
+
+
+@pytest.fixture
+def paper_params() -> STAPParams:
+    """The paper's exact Section 7 parameters."""
+    return STAPParams.paper()
+
+
+@pytest.fixture
+def tiny_scenario() -> RadarScenario:
+    """Clutter + two detectable targets sized for the tiny cube."""
+    return RadarScenario(
+        clutter_to_noise_db=40.0,
+        targets=(
+            TargetTruth(range_cell=20, normalized_doppler=0.25, angle_deg=0.0, snr_db=5.0),
+            TargetTruth(
+                range_cell=30, normalized_doppler=0.05, angle_deg=-10.0, snr_db=10.0
+            ),
+        ),
+        seed=11,
+    )
+
+
+@pytest.fixture
+def tiny_stream(tiny_params, tiny_scenario) -> CPIStream:
+    return CPIStream(tiny_params, tiny_scenario)
+
+
+@pytest.fixture
+def benign_scenario() -> RadarScenario:
+    """Noise-only scenario for numerical checks."""
+    return RadarScenario.benign(seed=3)

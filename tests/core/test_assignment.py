@@ -1,0 +1,100 @@
+"""Processor assignments: presets, rank mapping, feasibility."""
+
+import pytest
+
+from repro.core import (
+    Assignment,
+    CASE1,
+    CASE2,
+    CASE3,
+    CASE2_PLUS_DOPPLER,
+    CASE2_PLUS_DOPPLER_PC_CFAR,
+    TASK_NAMES,
+)
+from repro.errors import AssignmentError
+from repro.radar import STAPParams
+
+
+class TestPaperPresets:
+    def test_case_totals_match_table7(self):
+        # "case 1: total number of nodes = 236", etc.
+        assert CASE1.total_nodes == 236
+        assert CASE2.total_nodes == 118
+        assert CASE3.total_nodes == 59
+
+    def test_case1_counts(self):
+        assert CASE1.counts() == (32, 16, 112, 16, 28, 16, 16)
+
+    def test_case2_counts(self):
+        assert CASE2.counts() == (16, 8, 56, 8, 14, 8, 8)
+
+    def test_case3_counts(self):
+        assert CASE3.counts() == (8, 4, 28, 4, 7, 4, 4)
+
+    def test_table9_variant(self):
+        # "adding 4 more nodes to the Doppler filter processing task."
+        assert CASE2_PLUS_DOPPLER.total_nodes == 122
+        assert CASE2_PLUS_DOPPLER.doppler == 20
+        assert CASE2_PLUS_DOPPLER.hard_weight == CASE2.hard_weight
+
+    def test_table10_variant(self):
+        # "added a total of 16 more nodes to the pulse compression and CFAR."
+        assert CASE2_PLUS_DOPPLER_PC_CFAR.total_nodes == 138
+        assert CASE2_PLUS_DOPPLER_PC_CFAR.pulse_compression == 16
+        assert CASE2_PLUS_DOPPLER_PC_CFAR.cfar == 16
+
+    def test_all_presets_valid_at_paper_scale(self):
+        params = STAPParams.paper()
+        for case in (CASE1, CASE2, CASE3, CASE2_PLUS_DOPPLER, CASE2_PLUS_DOPPLER_PC_CFAR):
+            case.validate_for(params)
+
+
+class TestRankMapping:
+    def test_contiguous_offsets_in_task_order(self):
+        offsets = CASE2.rank_offsets()
+        expected = 0
+        for task in TASK_NAMES:
+            assert offsets[task] == expected
+            expected += CASE2.count_of(task)
+
+    def test_world_ranks(self):
+        ranks = CASE2.world_ranks("hard_weight")
+        assert ranks.start == 16 + 8
+        assert len(ranks) == 56
+
+    def test_task_of_rank_roundtrip(self):
+        for task in TASK_NAMES:
+            for rank in CASE3.world_ranks(task):
+                assert CASE3.task_of_rank(rank) == task
+
+    def test_rank_beyond_total_rejected(self):
+        with pytest.raises(AssignmentError):
+            CASE3.task_of_rank(CASE3.total_nodes)
+
+
+class TestValidation:
+    def test_zero_count_rejected(self):
+        with pytest.raises(AssignmentError):
+            Assignment(0, 1, 1, 1, 1, 1, 1)
+
+    def test_unknown_task_lookup_rejected(self):
+        with pytest.raises(AssignmentError):
+            CASE1.count_of("not_a_task")
+
+    def test_too_many_nodes_for_work_units_rejected(self):
+        params = STAPParams.tiny()  # 8 hard bins x 2 segments = 16 units
+        bad = Assignment(1, 1, 17, 1, 1, 1, 1)
+        with pytest.raises(AssignmentError):
+            bad.validate_for(params)
+
+    def test_hard_weight_unit_limit_is_six_nhard_at_paper_scale(self):
+        params = STAPParams.paper()
+        Assignment(1, 1, 336, 1, 1, 1, 1).validate_for(params)
+        with pytest.raises(AssignmentError):
+            Assignment(1, 1, 337, 1, 1, 1, 1).validate_for(params)
+
+    def test_with_counts_preserves_others(self):
+        variant = CASE2.with_counts(name="x", cfar=10)
+        assert variant.cfar == 10
+        assert variant.doppler == CASE2.doppler
+        assert variant.name == "x"

@@ -1,0 +1,106 @@
+"""Failure injection: what happens when ranks die or messages go missing.
+
+The paper's system ran on real hardware where nodes fail; our simulation
+must at least *diagnose* such conditions rather than hang or silently
+produce wrong answers.  These tests kill ranks mid-run and assert the
+engine surfaces an actionable deadlock report naming the stuck processes.
+"""
+
+import pytest
+
+from repro.core.layout import PipelineLayout
+from repro.core.task import Collector
+from repro.core.tasks import TASK_CLASSES
+from repro.des import Simulator
+from repro.errors import DeadlockError, InterruptError
+from repro.machine import afrl_paragon
+from repro.mpi import World
+from repro import Assignment, STAPParams
+
+
+def build_world(num_cpis=5):
+    params = STAPParams.tiny()
+    assignment = Assignment(2, 1, 2, 1, 2, 1, 2, name="fail")
+    layout = PipelineLayout(params, assignment)
+    sim = Simulator()
+    world = World(sim, afrl_paragon(), num_ranks=assignment.total_nodes)
+    collector = Collector()
+    processes = {}
+    for task_name in assignment.rank_offsets():
+        cls = TASK_CLASSES[task_name]
+        for local_rank in range(assignment.count_of(task_name)):
+            kwargs = dict(
+                num_cpis=num_cpis,
+                collector=collector,
+                functional=False,
+                weight_delay=1,
+            )
+            if task_name == "doppler":
+                kwargs["sensor_seconds"] = 1e-4
+            task = cls(layout, local_rank, **kwargs)
+            world_rank = layout.world_rank(task_name, local_rank)
+            processes[(task_name, local_rank)] = world.spawn(
+                world_rank,
+                lambda ctx, task=task: task.run(ctx),
+                name=f"{task_name}[{local_rank}]",
+            )
+    return sim, world, collector, processes
+
+
+class TestRankDeath:
+    def test_killed_producer_deadlocks_consumers_with_diagnosis(self):
+        sim, world, collector, processes = build_world()
+        victim = processes[("doppler", 0)]
+
+        def assassin(sim, victim):
+            yield sim.timeout(0.01)
+            if victim.is_alive:
+                victim.interrupt(cause="node failure")
+
+        sim.process(assassin(sim, victim), name="assassin")
+        with pytest.raises((DeadlockError, InterruptError)) as excinfo:
+            sim.run()
+        if isinstance(excinfo.value, DeadlockError):
+            # The report names blocked downstream processes.
+            assert excinfo.value.waiting
+
+    def test_killed_sink_blocks_upstream(self):
+        sim, world, collector, processes = build_world()
+        for local_rank in (0, 1):
+            victim = processes[("cfar", local_rank)]
+
+            def assassin(sim, victim=victim):
+                yield sim.timeout(0.005)
+                if victim.is_alive:
+                    victim.interrupt(cause="cfar node failure")
+
+            sim.process(assassin(sim), name=f"assassin{local_rank}")
+        with pytest.raises((DeadlockError, InterruptError)):
+            sim.run()
+
+    def test_unharmed_run_completes(self):
+        sim, world, collector, processes = build_world()
+        sim.run()
+        assert all(not p.is_alive for p in processes.values())
+        assert world.outstanding_operations() == 0
+        assert len(collector.report_done) == 5
+
+
+class TestMessageLoss:
+    def test_missing_message_is_reported_not_hung(self):
+        """A consumer waiting for a message nobody sends must surface as a
+        DeadlockError naming the waiter — the debugging affordance."""
+        sim = Simulator()
+        world = World(sim, afrl_paragon(), num_ranks=2)
+
+        def silent_sender(ctx):
+            yield ctx.elapse(0.001)  # "crashes" before sending
+
+        def consumer(ctx):
+            yield ctx.irecv(source=0, tag=42)
+
+        world.spawn(0, silent_sender, name="sender")
+        world.spawn(1, consumer, name="consumer")
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run()
+        assert any("consumer" in w for w in excinfo.value.waiting)

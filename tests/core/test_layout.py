@@ -1,0 +1,94 @@
+"""PipelineLayout: partitions, rank mapping, sensor accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import Assignment, TASK_NAMES
+from repro.core.layout import EDGE_TOPOLOGY, PipelineLayout
+from repro.errors import ConfigurationError
+from repro.radar import STAPParams
+
+
+@pytest.fixture
+def layout():
+    return PipelineLayout(STAPParams.tiny(), Assignment(3, 2, 4, 2, 3, 2, 3, name="t"))
+
+
+class TestPartitions:
+    def test_partition_of_each_task(self, layout):
+        for task in TASK_NAMES:
+            assert layout.partition_of(task) is not None
+        with pytest.raises(ConfigurationError):
+            layout.partition_of("nope")
+
+    def test_k_partition_covers_ranges(self, layout):
+        params = layout.params
+        cells = np.concatenate(
+            [layout.k_partition.ids_of(p) for p in range(layout.k_partition.parts)]
+        )
+        assert np.array_equal(cells, np.arange(params.num_ranges))
+
+    def test_bf_partitions_cover_bins(self, layout):
+        params = layout.params
+        easy = np.concatenate(
+            [layout.easy_bf_bins.ids_of(p) for p in range(layout.easy_bf_bins.parts)]
+        )
+        assert np.array_equal(easy, params.easy_bins)
+        hard = np.concatenate(
+            [layout.hard_bf_bins.ids_of(p) for p in range(layout.hard_bf_bins.parts)]
+        )
+        assert np.array_equal(hard, params.hard_bins)
+
+
+class TestTopology:
+    def test_every_edge_has_a_plan(self, layout):
+        for name, src, dst in EDGE_TOPOLOGY:
+            plan = layout.plan(name)
+            assert plan.src_task == src
+            assert plan.dst_task == dst
+
+    def test_in_out_edges(self, layout):
+        assert layout.in_edges("doppler") == []
+        assert set(layout.out_edges("doppler")) == {
+            "dop_to_easy_weight",
+            "dop_to_hard_weight",
+            "dop_to_easy_bf",
+            "dop_to_hard_bf",
+        }
+        assert layout.in_edges("cfar") == ["pc_to_cfar"]
+        assert layout.out_edges("cfar") == []
+
+    def test_bf_heavier_than_weight_edges(self, layout):
+        # "thicker arrows ... the amount of data sent to the beamforming
+        # tasks is more than the amount of data sent to the weight tasks."
+        assert (
+            layout.plan("dop_to_easy_bf").total_bytes
+            > layout.plan("dop_to_easy_weight").total_bytes
+        )
+        assert (
+            layout.plan("dop_to_hard_bf").total_bytes
+            > layout.plan("dop_to_hard_weight").total_bytes
+        )
+
+
+class TestRankMapping:
+    def test_world_rank_roundtrip(self, layout):
+        for task in TASK_NAMES:
+            for local in range(layout.assignment.count_of(task)):
+                world = layout.world_rank(task, local)
+                assert layout.task_and_local(world) == (task, local)
+
+    def test_total_ranks(self, layout):
+        assert layout.total_ranks == layout.assignment.total_nodes
+
+    def test_bad_local_rank_rejected(self, layout):
+        with pytest.raises(ConfigurationError):
+            layout.world_rank("doppler", 99)
+
+
+class TestSensor:
+    def test_sensor_bytes_sum_to_cube(self, layout):
+        total = sum(
+            layout.sensor_bytes_of(r) for r in range(layout.assignment.doppler)
+        )
+        assert total == layout.params.cpi_cube_bytes

@@ -1,0 +1,113 @@
+"""Metrics aggregation and the paper's equations."""
+
+import pytest
+
+from repro.core.metrics import (
+    PipelineMetrics,
+    TaskMetrics,
+    TaskTiming,
+    steady_state_slice,
+)
+from repro.errors import ConfigurationError
+
+
+def timing(cpi, rank=0, t0=0.0, recv=0.1, comp=0.2, send=0.05):
+    t1 = t0 + recv
+    t2 = t1 + comp
+    t3 = t2 + send
+    return TaskTiming(cpi_index=cpi, rank=rank, t0=t0, t1=t1, t2=t2, t3=t3)
+
+
+class TestSteadyStateSlice:
+    def test_paper_run_drops_3_and_2(self):
+        # "do not include the effect of the initial setup (first 3 CPIs)
+        # and final iterations (last 2 CPIs)."
+        assert steady_state_slice(25) == (3, 23)
+
+    def test_short_runs_keep_most(self):
+        assert steady_state_slice(4) == (1, 4)
+        assert steady_state_slice(1) == (0, 1)
+
+
+class TestTaskMetricsAggregate:
+    def test_averages_over_ranks_then_cpis(self):
+        timings = [
+            timing(3, rank=0, recv=0.1),
+            timing(3, rank=1, recv=0.3),  # per-CPI mean: 0.2
+            timing(4, rank=0, recv=0.4),
+            timing(4, rank=1, recv=0.4),  # per-CPI mean: 0.4
+        ]
+        metrics = TaskMetrics.aggregate("t", 2, timings, num_cpis=25)
+        # Only CPIs in the steady window would count; 3 and 4 both are.
+        assert metrics.recv == pytest.approx(0.3)
+
+    def test_warmup_cpis_excluded(self):
+        timings = [timing(0, recv=9.9), timing(3, recv=0.1), timing(4, recv=0.1)]
+        metrics = TaskMetrics.aggregate("t", 1, timings, num_cpis=25)
+        assert metrics.recv == pytest.approx(0.1)
+
+    def test_empty_steady_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskMetrics.aggregate("t", 1, [timing(0)], num_cpis=25)
+
+    def test_total_is_sum_of_phases(self):
+        metrics = TaskMetrics("t", 4, recv=0.1, comp=0.2, send=0.05)
+        assert metrics.total == pytest.approx(0.35)
+
+    def test_row_renders(self):
+        metrics = TaskMetrics("doppler", 16, 0.01, 0.17, 0.06)
+        row = metrics.row()
+        assert "doppler" in row and "16" in row
+
+
+def make_pipeline_metrics(totals):
+    tasks = {}
+    for name, (recv, comp, send) in totals.items():
+        tasks[name] = TaskMetrics(name, 1, recv, comp, send)
+    return PipelineMetrics(
+        tasks=tasks, measured_throughput=1.0, measured_latency=1.0
+    )
+
+
+FULL = {
+    "doppler": (0.01, 0.20, 0.05),
+    "easy_weight": (0.05, 0.30, 0.0),
+    "hard_weight": (0.05, 0.40, 0.0),
+    "easy_beamform": (0.10, 0.10, 0.01),
+    "hard_beamform": (0.10, 0.08, 0.01),
+    "pulse_compression": (0.05, 0.15, 0.01),
+    "cfar": (0.10, 0.05, 0.0),
+}
+
+
+class TestEquations:
+    def test_equation_1_throughput(self):
+        metrics = make_pipeline_metrics(FULL)
+        slowest = max(sum(v) for v in FULL.values())  # hard_weight: 0.45
+        assert metrics.equation_throughput == pytest.approx(1.0 / slowest)
+
+    def test_equation_2_latency_skips_weight_tasks(self):
+        # latency = T0 + max(T3, T4) + T5 + T6 — equations (2).
+        metrics = make_pipeline_metrics(FULL)
+        t = {k: sum(v) for k, v in FULL.items()}
+        expected = (
+            t["doppler"]
+            + max(t["easy_beamform"], t["hard_beamform"])
+            + t["pulse_compression"]
+            + t["cfar"]
+        )
+        assert metrics.equation_latency == pytest.approx(expected)
+        # Making the weight tasks slower must NOT change the latency bound.
+        slower = dict(FULL)
+        slower["hard_weight"] = (0.05, 5.0, 0.0)
+        assert make_pipeline_metrics(slower).equation_latency == pytest.approx(
+            expected
+        )
+
+    def test_bottleneck_uses_work_not_total(self):
+        # A task stuffed with recv wait is not the bottleneck; the task
+        # doing the most comp+send is.
+        totals = dict(FULL)
+        totals["cfar"] = (5.0, 0.05, 0.0)  # huge waiting, tiny work
+        metrics = make_pipeline_metrics(totals)
+        assert metrics.bottleneck_task == "hard_weight"

@@ -1,0 +1,131 @@
+"""Block and unit partitions."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import (
+    BlockPartition,
+    HardUnitPartition,
+    block_of,
+    block_ranges,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBlockRanges:
+    def test_even_split(self):
+        assert block_ranges(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_remainder_spread_over_leading_blocks(self):
+        ranges = block_ranges(10, 3)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sizes == [4, 3, 3]
+
+    def test_blocks_cover_and_are_disjoint(self):
+        for total, parts in [(7, 2), (100, 7), (5, 5), (3, 4)]:
+            ranges = block_ranges(total, parts)
+            covered = [i for lo, hi in ranges for i in range(lo, hi)]
+            assert covered == list(range(total))
+
+    def test_more_parts_than_items_gives_empty_blocks(self):
+        ranges = block_ranges(2, 4)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sizes == [1, 1, 0, 0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            block_ranges(5, 0)
+        with pytest.raises(ConfigurationError):
+            block_ranges(-1, 2)
+
+
+class TestBlockOf:
+    def test_inverse_of_block_ranges(self):
+        for total, parts in [(12, 3), (10, 3), (100, 7), (5, 5)]:
+            ranges = block_ranges(total, parts)
+            for part, (lo, hi) in enumerate(ranges):
+                for i in range(lo, hi):
+                    assert block_of(total, parts, i) == part
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            block_of(10, 2, 10)
+
+
+class TestBlockPartition:
+    def test_of_range(self):
+        p = BlockPartition.of_range(10, 3)
+        assert np.array_equal(p.ids_of(0), [0, 1, 2, 3])
+        assert p.size_of(2) == 3
+
+    def test_of_ids_noncontiguous(self):
+        hard_bins = [0, 1, 2, 13, 14, 15]
+        p = BlockPartition.of_ids(hard_bins, 2)
+        assert np.array_equal(p.ids_of(0), [0, 1, 2])
+        assert np.array_equal(p.ids_of(1), [13, 14, 15])
+
+    def test_intersect(self):
+        p = BlockPartition.of_range(20, 4)
+        inter = p.intersect(1, [4, 5, 9, 10])
+        assert np.array_equal(inter, [5, 9])
+
+    def test_local_positions(self):
+        p = BlockPartition.of_ids([3, 7, 11, 15], 2)
+        assert np.array_equal(p.local_positions(1, [15, 11]), [1, 0])
+
+    def test_local_positions_foreign_id_rejected(self):
+        p = BlockPartition.of_range(10, 2)
+        with pytest.raises(ConfigurationError):
+            p.local_positions(0, [9])
+
+    def test_owner_of_position(self):
+        p = BlockPartition.of_range(10, 3)
+        assert p.owner_of_position(0) == 0
+        assert p.owner_of_position(9) == 2
+
+    def test_too_many_parts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockPartition.of_range(3, 4)
+
+
+class TestHardUnitPartition:
+    def make(self, bins=8, segments=3, parts=5):
+        return HardUnitPartition(
+            bin_ids=tuple(range(bins)), num_segments=segments, parts=parts
+        )
+
+    def test_units_cover_all(self):
+        p = self.make()
+        all_units = np.concatenate([p.units_of(i) for i in range(p.parts)])
+        assert np.array_equal(all_units, np.arange(p.num_units))
+
+    def test_decompose_bin_major(self):
+        p = self.make(segments=3)
+        bin_pos, segs = p.decompose([0, 1, 2, 3])
+        assert np.array_equal(bin_pos, [0, 0, 0, 1])
+        assert np.array_equal(segs, [0, 1, 2, 0])
+
+    def test_bins_of_units(self):
+        p = HardUnitPartition(bin_ids=(10, 20, 30), num_segments=2, parts=2)
+        assert np.array_equal(p.bins_of_units([0, 1, 2, 5]), [10, 10, 20, 30])
+
+    def test_segment_bins_of_cover_everything(self):
+        p = self.make(bins=4, segments=3, parts=5)
+        seen = set()
+        for part in range(p.parts):
+            for seg, bins in p.segment_bins_of(part).items():
+                for b in bins:
+                    key = (seg, int(b))
+                    assert key not in seen  # disjoint
+                    seen.add(key)
+        assert len(seen) == p.num_units  # complete
+
+    def test_more_parts_than_units_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HardUnitPartition(bin_ids=(0, 1), num_segments=2, parts=5)
+
+    def test_paper_case1_feasible(self):
+        # 112 nodes on 6 x 56 = 336 units.
+        p = HardUnitPartition(bin_ids=tuple(range(56)), num_segments=6, parts=112)
+        assert p.num_units == 336
+        assert all(p.size_of(i) == 3 for i in range(112))

@@ -1,0 +1,147 @@
+"""Modeled pipeline: scaling behaviour and the paper's qualitative results.
+
+These tests assert the *shapes* the paper reports — linear speedups,
+doubling-node-counts halves times, the Table 9/10 secondary effects — at a
+reduced problem scale so each simulation takes well under a second.
+"""
+
+import pytest
+
+from repro import Assignment, STAPParams, STAPPipeline
+from repro.core.metrics import steady_state_slice
+
+
+@pytest.fixture(scope="module")
+def params():
+    return STAPParams.small()
+
+
+def run(params, counts, num_cpis=10, name="t", measured=False, **kwargs):
+    pipeline = STAPPipeline(
+        params, Assignment(*counts, name=name), num_cpis=num_cpis, **kwargs
+    )
+    return pipeline.run_measured() if measured else pipeline.run()
+
+
+@pytest.fixture(scope="module")
+def base_result(params):
+    return run(params, (4, 2, 8, 2, 4, 2, 2))
+
+
+@pytest.fixture(scope="module")
+def doubled_result(params):
+    return run(params, (8, 4, 16, 4, 8, 4, 4))
+
+
+class TestScaling:
+    def test_doubling_nodes_roughly_doubles_throughput(self, base_result, doubled_result):
+        ratio = (
+            doubled_result.metrics.measured_throughput
+            / base_result.metrics.measured_throughput
+        )
+        assert 1.6 < ratio < 2.4
+
+    def test_doubling_nodes_roughly_halves_latency(self, base_result, doubled_result):
+        ratio = base_result.metrics.measured_latency / doubled_result.metrics.measured_latency
+        assert 1.5 < ratio < 2.5
+
+    def test_compute_time_scales_inversely_with_nodes(self, base_result, doubled_result):
+        for task in ("doppler", "hard_weight", "pulse_compression"):
+            ratio = (
+                base_result.metrics.tasks[task].comp
+                / doubled_result.metrics.tasks[task].comp
+            )
+            assert ratio == pytest.approx(2.0, rel=0.05)
+
+
+class TestEquationVsMeasured:
+    def test_equation_throughput_close_to_measured(self, base_result):
+        m = base_result.metrics
+        assert m.equation_throughput == pytest.approx(m.measured_throughput, rel=0.15)
+
+    def test_equation_latency_is_upper_bound(self, base_result):
+        # "the latency given in equation (2) represents an upper bound."
+        m = base_result.metrics
+        assert m.equation_latency >= m.measured_latency
+
+    def test_measured_latency_within_half_of_bound(self, base_result):
+        # Table 8: real latency is roughly 2/3 of the equation value.
+        m = base_result.metrics
+        assert m.measured_latency > 0.4 * m.equation_latency
+
+
+class TestSecondaryEffects:
+    def test_adding_doppler_nodes_helps_downstream_recv(self, params):
+        """Table 9: 'adding nodes to one task ... has a measurable effect on
+        the performance of other tasks' — successors' recv drops because
+        the producer sends earlier and packs less per node."""
+        # As in the paper's case 2, the Doppler task is the bottleneck
+        # before the extra nodes arrive.
+        before = run(params, (2, 2, 8, 2, 4, 2, 2), measured=True)
+        after = run(params, (6, 2, 8, 2, 4, 2, 2), measured=True)
+        assert (
+            after.metrics.tasks["easy_beamform"].recv
+            < before.metrics.tasks["easy_beamform"].recv
+        )
+        assert (
+            after.metrics.measured_throughput
+            >= 0.98 * before.metrics.measured_throughput
+        )
+        assert after.metrics.measured_latency < before.metrics.measured_latency
+
+    def test_feeding_non_bottleneck_tasks_caps_throughput(self, params):
+        """Table 10: extra nodes on pulse compression/CFAR do not raise
+        throughput when the weight tasks are the bottleneck, but latency
+        improves."""
+        base = run(params, (4, 2, 4, 2, 4, 2, 2), measured=True)  # weights starved
+        fattened = run(params, (4, 2, 4, 2, 4, 8, 8), measured=True)
+        thr_gain = (
+            fattened.metrics.measured_throughput / base.metrics.measured_throughput
+        )
+        assert thr_gain < 1.15  # essentially flat
+        assert fattened.metrics.measured_latency < base.metrics.measured_latency
+
+    def test_bottleneck_task_identified(self, params):
+        result = run(params, (4, 2, 4, 2, 4, 2, 2))
+        assert result.metrics.bottleneck_task in ("hard_weight", "easy_weight")
+
+
+class TestBookkeeping:
+    def test_all_cpis_reported(self, params, base_result):
+        collector = base_result.collector
+        for cpi in range(base_result.num_cpis):
+            assert cpi in collector.report_done
+            assert cpi in collector.input_start
+
+    def test_steady_state_slice_behaviour(self):
+        assert steady_state_slice(25) == (3, 23)
+        assert steady_state_slice(5) == (1, 5)
+        assert steady_state_slice(2) == (0, 2)
+
+    def test_modeled_run_has_no_detections(self, base_result):
+        assert base_result.reports == []
+
+    def test_network_counters_positive(self, base_result):
+        assert base_result.network_messages > 0
+        assert base_result.network_bytes > 0
+
+    def test_makespan_exceeds_latency(self, base_result):
+        assert base_result.makespan > base_result.metrics.measured_latency
+
+    def test_table_renders(self, base_result):
+        text = base_result.metrics.table("title")
+        assert "doppler" in text and "throughput" in text
+
+    def test_modeled_azimuth_cycling(self, params):
+        """Weight delay > 1 (revisit period) must not change the steady
+        throughput materially — weights stay off the critical path."""
+        base = run(params, (4, 2, 8, 2, 4, 2, 2), num_cpis=9)
+        cycled = STAPPipeline(
+            params,
+            Assignment(4, 2, 8, 2, 4, 2, 2, name="az"),
+            num_cpis=9,
+            azimuth_cycle=3,
+        ).run()
+        assert cycled.metrics.measured_throughput == pytest.approx(
+            base.metrics.measured_throughput, rel=0.05
+        )

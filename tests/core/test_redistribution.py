@@ -1,0 +1,214 @@
+"""Redistribution plans: coverage, disjointness, byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.layout import PipelineLayout
+from repro.core.redistribution import (
+    edge_tag,
+    easy_training_cells,
+    hard_training_cells,
+    TAG_CODES,
+)
+from repro.radar import STAPParams
+from repro.scheduling.model import _edge_volumes
+
+
+def layout_for(params, counts):
+    return PipelineLayout(params, Assignment(*counts, name="test"))
+
+
+@pytest.fixture
+def params():
+    return STAPParams.tiny()
+
+
+@pytest.fixture
+def layout(params):
+    # Deliberately mismatched partner sizes to exercise the general case,
+    # including hard-weight ranks > hard bins (unit partitioning).
+    return layout_for(params, (3, 2, 10, 2, 3, 2, 3))
+
+
+class TestTags:
+    def test_edges_have_distinct_codes(self):
+        assert len(set(TAG_CODES.values())) == len(TAG_CODES)
+
+    def test_tag_encodes_cpi(self):
+        t0 = edge_tag("pc_to_cfar", 0)
+        t1 = edge_tag("pc_to_cfar", 1)
+        assert t1 - t0 == 16
+        assert edge_tag("dop_to_easy_bf", 5) != edge_tag("dop_to_hard_bf", 5)
+
+
+class TestTrainingCells:
+    def test_easy_cells_match_reference_selection(self, params):
+        from repro.stap.easy_weights import select_range_samples
+
+        assert np.array_equal(
+            easy_training_cells(params),
+            select_range_samples(params.num_ranges, params.easy_train_per_cpi),
+        )
+
+    def test_hard_cells_stay_in_their_segments(self, params):
+        for seg, cells in zip(params.segment_slices, hard_training_cells(params)):
+            assert cells.min() >= seg.start
+            assert cells.max() < seg.stop
+
+
+class TestDopToWeightPlans:
+    def test_easy_rows_cover_all_training_cells_once(self, params, layout):
+        plan = layout.plan("dop_to_easy_weight")
+        for dst in range(plan.dst_size):
+            rows = np.concatenate(
+                [m.segments[0].row_positions for m in plan.recvs_of(dst)]
+            )
+            assert np.array_equal(np.sort(rows), np.arange(params.easy_train_per_cpi))
+
+    def test_easy_k_indices_owned_by_sender(self, params, layout):
+        plan = layout.plan("dop_to_easy_weight")
+        for message in plan.messages:
+            lo, hi = layout.k_partition.bounds(message.src)
+            k_idx = message.segments[0].k_indices
+            assert np.all((k_idx >= lo) & (k_idx < hi))
+
+    def test_hard_units_fully_supplied(self, params, layout):
+        """Every (segment, bin) unit must receive every selected training
+        row of its segment, across all sources."""
+        plan = layout.plan("dop_to_hard_weight")
+        unit_partition = layout.hard_weight_units
+        per_segment = hard_training_cells(params)
+        for dst in range(plan.dst_size):
+            needed = unit_partition.segment_bins_of(dst)
+            got: dict[tuple[int, int], list] = {}
+            for message in plan.recvs_of(dst):
+                for seg in message.segments:
+                    for b in seg.bin_ids:
+                        got.setdefault((seg.segment, int(b)), []).extend(
+                            seg.row_positions.tolist()
+                        )
+            for seg_idx, bins in needed.items():
+                expected_rows = len(per_segment[seg_idx])
+                for b in bins:
+                    rows = sorted(got[(seg_idx, int(b))])
+                    assert rows == list(range(expected_rows))
+
+    def test_byte_totals_match_closed_form(self, params, layout):
+        volumes = _edge_volumes(params)
+        for edge in ("dop_to_easy_weight", "dop_to_hard_weight"):
+            assert layout.plan(edge).total_bytes == volumes[edge]
+
+
+class TestDopToBfPlans:
+    @pytest.mark.parametrize("edge", ["dop_to_easy_bf", "dop_to_hard_bf"])
+    def test_k_slices_tile_the_range_axis(self, params, layout, edge):
+        plan = layout.plan(edge)
+        for dst in range(plan.dst_size):
+            msgs = plan.recvs_of(dst)
+            covered = sorted((m.k_start, m.k_stop) for m in msgs)
+            cursor = 0
+            for lo, hi in covered:
+                assert lo == cursor
+                cursor = hi
+            assert cursor == params.num_ranges
+
+    @pytest.mark.parametrize("edge", ["dop_to_easy_bf", "dop_to_hard_bf"])
+    def test_byte_totals_match_closed_form(self, params, layout, edge):
+        assert layout.plan(edge).total_bytes == _edge_volumes(params)[edge]
+
+    def test_reorganization_flags(self, layout):
+        plan = layout.plan("dop_to_easy_bf")
+        assert plan.pack_strided and plan.unpack_strided
+
+
+class TestAlignedBinPlans:
+    @pytest.mark.parametrize(
+        "edge,dst_partition",
+        [
+            ("easy_weight_to_bf", "easy_bf_bins"),
+            ("easy_bf_to_pc", "pc_bins"),
+            ("hard_bf_to_pc", "pc_bins"),
+            ("pc_to_cfar", "cfar_bins"),
+        ],
+    )
+    def test_each_dst_position_filled_exactly_once(self, layout, edge, dst_partition):
+        plan = layout.plan(edge)
+        partition = getattr(layout, dst_partition)
+        expected = {
+            "easy_weight_to_bf": lambda d: partition.size_of(d),
+            "easy_bf_to_pc": None,
+            "hard_bf_to_pc": None,
+            "pc_to_cfar": lambda d: partition.size_of(d),
+        }
+        for dst in range(plan.dst_size):
+            positions = np.concatenate(
+                [m.dst_pos for m in plan.recvs_of(dst)]
+                or [np.empty(0, dtype=int)]
+            )
+            assert len(positions) == len(set(positions.tolist()))  # disjoint
+            if edge in ("easy_weight_to_bf", "pc_to_cfar"):
+                assert np.array_equal(np.sort(positions), np.arange(partition.size_of(dst)))
+
+    def test_pc_receives_every_bin_from_exactly_one_bf(self, params, layout):
+        easy = layout.plan("easy_bf_to_pc")
+        hard = layout.plan("hard_bf_to_pc")
+        for dst in range(layout.pc_bins.parts):
+            ids = np.concatenate(
+                [m.ids for m in easy.recvs_of(dst)]
+                + [m.ids for m in hard.recvs_of(dst)]
+            )
+            assert np.array_equal(np.sort(ids), layout.pc_bins.ids_of(dst))
+
+    def test_no_reorganization_on_aligned_edges(self, layout):
+        for edge in ("easy_weight_to_bf", "easy_bf_to_pc", "pc_to_cfar"):
+            plan = layout.plan(edge)
+            assert not plan.pack_strided and not plan.unpack_strided
+
+    @pytest.mark.parametrize(
+        "edge",
+        ["easy_weight_to_bf", "hard_weight_to_bf", "easy_bf_to_pc", "hard_bf_to_pc", "pc_to_cfar"],
+    )
+    def test_byte_totals_match_closed_form(self, params, layout, edge):
+        assert layout.plan(edge).total_bytes == _edge_volumes(params)[edge]
+
+
+class TestHardWeightToBf:
+    def test_every_unit_delivered_to_its_bin_owner(self, params, layout):
+        plan = layout.plan("hard_weight_to_bf")
+        unit_partition = layout.hard_weight_units
+        delivered: dict[int, set] = {d: set() for d in range(plan.dst_size)}
+        for message in plan.messages:
+            for seg, pos in zip(message.segments, message.dst_bin_pos):
+                key = (int(seg), int(pos))
+                assert key not in delivered[message.dst]
+                delivered[message.dst].add(key)
+        for dst in range(plan.dst_size):
+            nbins = layout.hard_bf_bins.size_of(dst)
+            assert len(delivered[dst]) == params.num_segments * nbins
+
+    def test_src_positions_within_local_units(self, layout):
+        plan = layout.plan("hard_weight_to_bf")
+        for message in plan.messages:
+            local_units = layout.hard_weight_units.size_of(message.src)
+            assert message.src_pos.max() < local_units
+
+
+class TestPerRankAccounting:
+    def test_sends_and_recvs_are_consistent_views(self, layout):
+        for edge_name in TAG_CODES:
+            plan = layout.plan(edge_name)
+            from_sends = sorted(
+                (m.src, m.dst) for s in range(plan.src_size) for m in plan.sends_of(s)
+            )
+            from_recvs = sorted(
+                (m.src, m.dst) for d in range(plan.dst_size) for m in plan.recvs_of(d)
+            )
+            assert from_sends == from_recvs
+
+    def test_send_recv_byte_sums_agree(self, layout):
+        for edge_name in TAG_CODES:
+            plan = layout.plan(edge_name)
+            sent = sum(plan.send_bytes_of(s) for s in range(plan.src_size))
+            recvd = sum(plan.recv_bytes_of(d) for d in range(plan.dst_size))
+            assert sent == recvd == plan.total_bytes

@@ -1,0 +1,63 @@
+"""Round-robin baseline (Section 2 / RTMCARM)."""
+
+import pytest
+
+from repro import RoundRobinSTAP, STAPParams, ruggedized_paragon
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def params():
+    return STAPParams.paper()
+
+
+class TestSingleNodeTime:
+    def test_latency_in_rtmcarm_ballpark(self, params):
+        """The in-flight system 'achieved a latency of 2.35 seconds per
+        CPI' on one 3-processor node; our model should land in that
+        neighbourhood (same flops, calibrated rates)."""
+        rr = RoundRobinSTAP(params)
+        per_cpi = rr.single_node_seconds()
+        assert 1.5 < per_cpi < 4.0
+
+    def test_three_processors_faster_than_one(self, params):
+        machine3 = ruggedized_paragon()
+        rr3 = RoundRobinSTAP(params, machine=machine3)
+        from dataclasses import replace
+
+        machine1 = replace(
+            machine3, node=replace(machine3.node, processors_per_node=1)
+        )
+        rr1 = RoundRobinSTAP(params, machine=machine1)
+        assert rr3.single_node_seconds() < rr1.single_node_seconds()
+
+
+class TestRoundRobinRun:
+    def test_latency_independent_of_node_count(self, params):
+        """'the latency is limited by what can be achieved using one
+        compute node' — more nodes never reduce round-robin latency."""
+        lat5 = RoundRobinSTAP(params, num_nodes=5).run(num_cpis=15).latency
+        lat25 = RoundRobinSTAP(params, num_nodes=25).run(num_cpis=15).latency
+        assert lat25 == pytest.approx(lat5, rel=0.05)
+
+    def test_throughput_scales_with_nodes(self, params):
+        thr5 = RoundRobinSTAP(params, num_nodes=5).run(num_cpis=25).throughput
+        thr25 = RoundRobinSTAP(params, num_nodes=25).run(num_cpis=25).throughput
+        assert thr25 / thr5 == pytest.approx(5.0, rel=0.3)
+
+    def test_full_machine_hits_rtmcarm_throughput_scale(self, params):
+        """'The system processed up to 10 CPIs per second.'"""
+        result = RoundRobinSTAP(params).run(num_cpis=50)
+        assert 5.0 < result.throughput < 20.0
+
+    def test_paced_input_caps_throughput(self, params):
+        result = RoundRobinSTAP(params, input_rate_cpis_per_s=2.0).run(num_cpis=15)
+        assert result.throughput == pytest.approx(2.0, rel=0.1)
+
+    def test_summary_renders(self, params):
+        result = RoundRobinSTAP(params, num_nodes=4).run(num_cpis=10)
+        assert "round-robin" in result.summary()
+
+    def test_invalid_args(self, params):
+        with pytest.raises(ConfigurationError):
+            RoundRobinSTAP(params).run(num_cpis=0)

@@ -1,0 +1,101 @@
+"""Unit tests of the Figure 10 task loop, using a minimal stub pipeline.
+
+Two single-rank tasks connected by one edge: a producer (doppler slot) and
+a consumer (cfar slot).  This isolates the framework's timing bookkeeping,
+tag plumbing and double-buffering from the STAP numerics.
+"""
+
+import pytest
+
+from repro import Assignment, STAPParams, STAPPipeline
+from repro.core.layout import PipelineLayout
+from repro.core.metrics import TaskTiming
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return STAPPipeline(
+        STAPParams.tiny(), Assignment(2, 1, 2, 1, 2, 1, 2, name="fw"), num_cpis=6
+    ).run()
+
+
+class TestTimingBookkeeping:
+    def test_every_rank_records_every_cpi(self, small_run):
+        collector = small_run.collector
+        assignment = small_run.assignment
+        for task in assignment.rank_offsets():
+            timings = collector.timings[task]
+            expected = assignment.count_of(task) * small_run.num_cpis
+            assert len(timings) == expected
+
+    def test_timestamps_are_ordered(self, small_run):
+        for timings in small_run.collector.timings.values():
+            for t in timings:
+                assert t.t0 <= t.t1 <= t.t2 <= t.t3
+
+    def test_iterations_of_one_rank_do_not_overlap(self, small_run):
+        for task, timings in small_run.collector.timings.items():
+            by_rank = {}
+            for t in timings:
+                by_rank.setdefault(t.rank, []).append(t)
+            for rank_timings in by_rank.values():
+                rank_timings.sort(key=lambda t: t.cpi_index)
+                for a, b in zip(rank_timings, rank_timings[1:]):
+                    assert b.t0 >= a.t3
+
+    def test_phases_sum_to_total(self):
+        t = TaskTiming(cpi_index=0, rank=0, t0=1.0, t1=2.5, t2=4.0, t3=4.25)
+        assert t.recv + t.comp + t.send == pytest.approx(t.total)
+        assert t.recv == 1.5 and t.comp == 1.5 and t.send == 0.25
+
+
+class TestCausality:
+    def test_consumer_never_finishes_before_producer_starts(self, small_run):
+        """For each CPI, CFAR's compute end must follow Doppler's start."""
+        collector = small_run.collector
+        dop = {t.cpi_index: t for t in collector.timings["doppler"] if t.rank == 0}
+        cfar = {t.cpi_index: t for t in collector.timings["cfar"] if t.rank == 0}
+        for cpi in dop:
+            assert cfar[cpi].t2 > dop[cpi].t0
+
+    def test_pipeline_depth_bounded(self, small_run):
+        """Double buffering bounds how far Doppler runs ahead of CFAR:
+        its iteration start cannot lead the report of the same CPI by more
+        than a handful of pipeline stages."""
+        collector = small_run.collector
+        dop = {t.cpi_index: t for t in collector.timings["doppler"] if t.rank == 0}
+        for cpi, report_time in collector.report_done.items():
+            lead_iterations = sum(
+                1 for j, t in dop.items() if j > cpi and t.t0 < report_time
+            )
+            assert lead_iterations <= 8
+
+    def test_reports_strictly_ordered(self, small_run):
+        done = [small_run.collector.report_done[i] for i in range(small_run.num_cpis)]
+        assert all(b > a for a, b in zip(done, done[1:]))
+
+
+class TestLayoutMemory:
+    def test_paper_cases_fit_64mib_nodes(self):
+        from repro import CASE1, CASE2, CASE3
+
+        params = STAPParams.paper()
+        for case in (CASE1, CASE2, CASE3):
+            PipelineLayout(params, case).validate_memory(64 * 2**20)
+
+    def test_tiny_memory_budget_rejected(self):
+        from repro.errors import ConfigurationError
+
+        params = STAPParams.paper()
+        from repro import CASE3
+
+        with pytest.raises(ConfigurationError):
+            PipelineLayout(params, CASE3).validate_memory(1 * 2**20)
+
+    def test_peak_bytes_positive_for_all_ranks(self):
+        params = STAPParams.tiny()
+        assignment = Assignment(2, 1, 3, 1, 2, 1, 2, name="mem")
+        layout = PipelineLayout(params, assignment)
+        for task in assignment.rank_offsets():
+            for rank in range(assignment.count_of(task)):
+                assert layout.peak_buffer_bytes(task, rank) > 0

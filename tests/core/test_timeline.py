@@ -1,0 +1,69 @@
+"""Timeline rendering and utilization accounting."""
+
+import pytest
+
+from repro import Assignment, STAPParams, STAPPipeline
+from repro.core.assignment import TASK_NAMES
+from repro.core.timeline import render_timeline, utilization
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def result():
+    return STAPPipeline(
+        STAPParams.small(), Assignment(4, 2, 8, 2, 4, 2, 2, name="tl"), num_cpis=8
+    ).run()
+
+
+class TestRenderTimeline:
+    def test_renders_all_tasks(self, result):
+        text = render_timeline(result.collector, 3, 6, width=80)
+        for task in TASK_NAMES:
+            assert task in text
+
+    def test_rows_have_requested_width(self, result):
+        width = 64
+        text = render_timeline(result.collector, 3, 5, width=width)
+        rows = text.splitlines()[1:]
+        name_width = len(rows[0]) - width
+        for row in rows:
+            assert len(row) == name_width + width
+
+    def test_steady_state_shows_overlap(self, result):
+        """In the same time window, at least two tasks must be computing —
+        the pipelining itself."""
+        text = render_timeline(result.collector, 3, 6, width=120)
+        rows = [line.split()[-1] for line in text.splitlines()[1:]]
+        compute_columns = [
+            sum(1 for row in rows if col < len(row) and row[col] == "C")
+            for col in range(120)
+        ]
+        assert max(compute_columns) >= 3
+
+    def test_all_phases_present(self, result):
+        text = render_timeline(result.collector, 3, 6, width=100)
+        body = "".join(line.split()[-1] for line in text.splitlines()[1:])
+        assert "C" in body and "r" in body and "s" in body
+
+    def test_invalid_args_rejected(self, result):
+        with pytest.raises(ConfigurationError):
+            render_timeline(result.collector, 5, 5)
+        with pytest.raises(ConfigurationError):
+            render_timeline(result.collector, 0, 2, width=5)
+        with pytest.raises(ConfigurationError):
+            render_timeline(result.collector, 0, 2, tasks=("no_such_task",))
+
+
+class TestUtilization:
+    def test_fractions_sum_to_one(self, result):
+        for task in TASK_NAMES:
+            u = utilization(result.collector, task)
+            assert sum(u.values()) == pytest.approx(1.0)
+
+    def test_bottleneck_task_mostly_computes(self, result):
+        u = utilization(result.collector, "hard_weight")
+        assert u["comp"] > 0.5
+
+    def test_unknown_task_rejected(self, result):
+        with pytest.raises(ConfigurationError):
+            utilization(result.collector, "nope")

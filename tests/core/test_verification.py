@@ -1,0 +1,59 @@
+"""The public verify_pipeline helper."""
+
+import pytest
+
+from repro import Assignment, CPIStream, RadarScenario, STAPParams, TargetTruth
+from repro.core.verification import verify_pipeline
+
+
+@pytest.fixture
+def setup():
+    params = STAPParams.tiny()
+    scenario = RadarScenario(
+        clutter_to_noise_db=40.0,
+        targets=(TargetTruth(20, 0.25, 0.0, 5.0),),
+        seed=11,
+    )
+    return params, scenario
+
+
+class TestVerifyPipeline:
+    def test_passes_for_standard_configuration(self, setup):
+        params, scenario = setup
+        report = verify_pipeline(
+            params,
+            Assignment(3, 2, 2, 2, 2, 2, 2, name="v"),
+            CPIStream(params, scenario),
+            num_cpis=4,
+        )
+        assert report.passed
+        assert report.matched_cpis == 4
+        assert "PASS" in report.summary()
+
+    def test_passes_with_ablations(self, setup):
+        params, scenario = setup
+        report = verify_pipeline(
+            params,
+            Assignment(2, 1, 4, 1, 2, 1, 2, name="v2"),
+            CPIStream(params, scenario),
+            num_cpis=3,
+            double_buffering=False,
+            collect_training=False,
+        )
+        assert report.passed
+
+    def test_detections_counted(self, setup):
+        params, _ = setup
+        loud = RadarScenario(
+            clutter_to_noise_db=40.0,
+            targets=(TargetTruth(20, 0.25, 0.0, 12.0),),
+            seed=11,
+        )
+        report = verify_pipeline(
+            params,
+            Assignment(2, 2, 2, 2, 2, 2, 2, name="v3"),
+            CPIStream(params, loud),
+            num_cpis=5,
+        )
+        assert report.passed
+        assert report.total_detections > 0

@@ -1,0 +1,157 @@
+"""Events: state machine, values, failures, composite conditions."""
+
+import pytest
+
+from repro.des import Simulator, Event, Timeout, AllOf, AnyOf
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEventStates:
+    def test_new_event_is_pending(self, sim):
+        ev = sim.event("x")
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_ok_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_succeed_sets_value(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_double_succeed_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_then_succeed_raises(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception_instance(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_processed_after_run(self, sim):
+        ev = sim.event()
+        ev.succeed("done")
+        ev.defused = True
+        sim.run(until=0.0)
+        assert ev.processed
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, sim):
+        fired = []
+        t = sim.timeout(2.5, value="v")
+        t.callbacks.append(lambda ev: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+        assert t.value == "v"
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_zero_delay_fires_immediately(self, sim):
+        t = sim.timeout(0.0)
+        sim.run()
+        assert t.processed
+        assert sim.now == 0.0
+
+
+class TestAllOf:
+    def test_waits_for_all(self, sim):
+        def proc(sim):
+            a, b = sim.timeout(1.0, value="a"), sim.timeout(3.0, value="b")
+            result = yield sim.all_of([a, b])
+            assert sorted(result.values()) == ["a", "b"]
+            return sim.now
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 3.0
+
+    def test_empty_allof_fires_immediately(self, sim):
+        def proc(sim):
+            yield sim.all_of([])
+            return sim.now
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 0.0
+
+    def test_includes_already_processed_events(self, sim):
+        def proc(sim):
+            t = sim.timeout(1.0, value="early")
+            yield t  # t is now processed
+            result = yield sim.all_of([t, sim.timeout(1.0, value="late")])
+            return sorted(result.values())
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == ["early", "late"]
+
+    def test_fails_fast_on_child_failure(self, sim):
+        def failer(sim, ev):
+            yield sim.timeout(1.0)
+            ev.fail(RuntimeError("child died"))
+
+        def waiter(sim, ev):
+            try:
+                yield sim.all_of([ev, sim.timeout(10.0)])
+            except RuntimeError as exc:
+                return (str(exc), sim.now)
+
+        ev = sim.event()
+        sim.process(failer(sim, ev))
+        p = sim.process(waiter(sim, ev))
+        sim.run()
+        # Failure propagated at t=1, without waiting for the long timeout.
+        assert p.value == ("child died", 1.0)
+
+    def test_mixed_simulators_rejected(self, sim):
+        other = Simulator()
+        with pytest.raises(SimulationError):
+            AllOf(sim, [sim.event(), other.event()])
+
+
+class TestAnyOf:
+    def test_fires_on_first(self, sim):
+        def proc(sim):
+            result = yield sim.any_of(
+                [sim.timeout(5.0, value="slow"), sim.timeout(1.0, value="fast")]
+            )
+            return (sim.now, list(result.values()))
+
+        p = sim.process(proc(sim))
+        sim.run(until=10.0)
+        assert p.value == (1.0, ["fast"])
+
+    def test_empty_anyof_fires_immediately(self, sim):
+        def proc(sim):
+            yield sim.any_of([])
+            return sim.now
+
+        p = sim.process(proc(sim))
+        sim.run(until=1.0)
+        assert p.value == 0.0

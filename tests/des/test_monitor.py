@@ -1,0 +1,63 @@
+"""Tracer: structured event logging."""
+
+from repro.des import Simulator, Tracer, TraceRecord
+
+
+def run_traced(num_events=5):
+    sim = Simulator(trace=True)
+
+    def proc(sim):
+        for _ in range(num_events):
+            yield sim.timeout(1.0)
+
+    sim.process(proc(sim), name="walker")
+    sim.run()
+    return sim
+
+
+class TestTracer:
+    def test_records_processed_events(self):
+        sim = run_traced(5)
+        # 1 start event + 5 timeouts.
+        assert len(sim.tracer) >= 6
+
+    def test_record_fields(self):
+        sim = run_traced(2)
+        timeout_records = sim.tracer.filter("timeout")
+        assert timeout_records
+        record = timeout_records[0]
+        assert isinstance(record, TraceRecord)
+        assert record.kind == "Timeout"
+        assert record.time >= 0.0
+
+    def test_filter_by_substring(self):
+        sim = run_traced(3)
+        assert len(sim.tracer.filter("timeout(1)")) == 3
+        assert sim.tracer.filter("no-such-event") == []
+
+    def test_str_renders(self):
+        sim = run_traced(1)
+        text = str(sim.tracer.records[0])
+        assert "[" in text and "]" in text
+
+    def test_max_records_drops_overflow(self):
+        tracer = Tracer(max_records=3)
+        sim = Simulator()
+        sim.tracer = tracer
+
+        def proc(sim):
+            for _ in range(10):
+                yield sim.timeout(0.5)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert len(tracer) == 3
+        assert tracer.dropped > 0
+
+    def test_iteration(self):
+        sim = run_traced(2)
+        assert list(iter(sim.tracer)) == sim.tracer.records
+
+    def test_monotone_check(self):
+        sim = run_traced(4)
+        assert sim.tracer.times_are_monotone()

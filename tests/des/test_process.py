@@ -1,0 +1,178 @@
+"""Processes: scheduling, values, exceptions, interrupts, misuse."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.errors import InterruptError, SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestBasics:
+    def test_process_body_runs_inside_event_loop(self, sim):
+        order = []
+
+        def proc(sim):
+            order.append("body")
+            yield sim.timeout(0)
+
+        sim.process(proc(sim))
+        order.append("after-spawn")
+        sim.run()
+        assert order == ["after-spawn", "body"]
+
+    def test_return_value_becomes_process_value(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            return "result"
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == "result"
+
+    def test_yield_receives_event_value(self, sim):
+        def proc(sim):
+            got = yield sim.timeout(1.0, value=99)
+            return got
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 99
+
+    def test_join_other_process(self, sim):
+        def worker(sim):
+            yield sim.timeout(2.0)
+            return "worker done"
+
+        def boss(sim, worker_proc):
+            result = yield worker_proc
+            return (sim.now, result)
+
+        w = sim.process(worker(sim))
+        b = sim.process(boss(sim, w))
+        sim.run()
+        assert b.value == (2.0, "worker done")
+
+    def test_join_already_finished_process(self, sim):
+        def worker(sim):
+            yield sim.timeout(1.0)
+            return 7
+
+        def boss(sim, w):
+            yield sim.timeout(5.0)
+            result = yield w
+            return result
+
+        w = sim.process(worker(sim))
+        b = sim.process(boss(sim, w))
+        sim.run()
+        assert b.value == 7
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)
+
+    def test_yielding_non_event_raises_inside_process(self, sim):
+        def proc(sim):
+            try:
+                yield 42
+            except SimulationError as exc:
+                return "caught: " + type(exc).__name__
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == "caught: SimulationError"
+
+
+class TestExceptions:
+    def test_exception_in_body_fails_process(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("body error")
+
+        p = sim.process(proc(sim))
+        with pytest.raises(ValueError, match="body error"):
+            sim.run()
+        assert p.triggered and not p.ok
+
+    def test_failed_event_thrown_into_waiter(self, sim):
+        def failer(sim, ev):
+            yield sim.timeout(1.0)
+            ev.fail(KeyError("nope"))
+
+        def waiter(sim, ev):
+            try:
+                yield ev
+            except KeyError:
+                return "handled"
+
+        ev = sim.event()
+        sim.process(failer(sim, ev))
+        p = sim.process(waiter(sim, ev))
+        sim.run()
+        assert p.value == "handled"
+
+    def test_joining_failed_process_propagates(self, sim):
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("inner")
+
+        def outer(sim, bad_proc):
+            try:
+                yield bad_proc
+            except RuntimeError as exc:
+                return f"saw {exc}"
+
+        b = sim.process(bad(sim))
+        o = sim.process(outer(sim, b))
+        sim.run()
+        assert o.value == "saw inner"
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_process(self, sim):
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+                return "overslept"
+            except InterruptError as exc:
+                return ("interrupted", exc.cause, sim.now)
+
+        def interrupter(sim, target):
+            yield sim.timeout(2.0)
+            target.interrupt(cause="wake up")
+
+        s = sim.process(sleeper(sim))
+        sim.process(interrupter(sim, s))
+        sim.run(until=200.0)
+        assert s.value == ("interrupted", "wake up", 2.0)
+
+    def test_interrupt_finished_process_raises(self, sim):
+        def quick(sim):
+            yield sim.timeout(0.0)
+
+        p = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupted_process_can_wait_again(self, sim):
+        def resilient(sim):
+            try:
+                yield sim.timeout(100.0)
+            except InterruptError:
+                pass
+            yield sim.timeout(1.0)
+            return sim.now
+
+        def interrupter(sim, target):
+            yield sim.timeout(2.0)
+            target.interrupt()
+
+        r = sim.process(resilient(sim))
+        sim.process(interrupter(sim, r))
+        sim.run(until=300.0)
+        assert r.value == 3.0

@@ -1,0 +1,170 @@
+"""Resources and stores: capacity, FIFO order, cancellation, predicates."""
+
+import pytest
+
+from repro.des import Simulator, Resource, Store
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def hold(sim, res, log, ident, duration):
+    req = res.request()
+    yield req
+    try:
+        log.append(("start", ident, sim.now))
+        yield sim.timeout(duration)
+    finally:
+        res.release()
+
+
+class TestResource:
+    def test_capacity_one_serializes(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+        for i in range(3):
+            sim.process(hold(sim, res, log, i, 2.0))
+        sim.run()
+        assert log == [("start", 0, 0.0), ("start", 1, 2.0), ("start", 2, 4.0)]
+
+    def test_capacity_two_overlaps(self, sim):
+        res = Resource(sim, capacity=2)
+        log = []
+        for i in range(4):
+            sim.process(hold(sim, res, log, i, 2.0))
+        sim.run()
+        starts = [t for _, _, t in log]
+        assert starts == [0.0, 0.0, 2.0, 2.0]
+
+    def test_fifo_grant_order(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+        for i in range(5):
+            sim.process(hold(sim, res, log, i, 1.0))
+        sim.run()
+        assert [ident for _, ident, _ in log] == [0, 1, 2, 3, 4]
+
+    def test_invalid_capacity_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_release_when_idle_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_cancel_removes_waiter(self, sim):
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        second = res.request()
+        assert res.queue_length == 1
+        assert res.cancel(second) is True
+        assert res.queue_length == 0
+        assert res.cancel(second) is False  # already gone
+        assert first.triggered  # first was granted immediately
+
+    def test_wait_time_accounting(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+        sim.process(hold(sim, res, log, 0, 3.0))
+        sim.process(hold(sim, res, log, 1, 1.0))
+        sim.run()
+        # Second process waited 3 seconds.
+        assert res.total_wait_time == pytest.approx(3.0)
+        assert res.total_grants == 2
+
+    def test_in_use_tracks_holders(self, sim):
+        res = Resource(sim, capacity=2)
+        res.request()
+        res.request()
+        assert res.in_use == 2
+        res.release()
+        assert res.in_use == 1
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("a")
+
+        def getter(sim, store):
+            item = yield store.get()
+            return item
+
+        p = sim.process(getter(sim, store))
+        sim.run()
+        assert p.value == "a"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+
+        def getter(sim, store):
+            item = yield store.get()
+            return (item, sim.now)
+
+        def putter(sim, store):
+            yield sim.timeout(5.0)
+            store.put("late")
+
+        g = sim.process(getter(sim, store))
+        sim.process(putter(sim, store))
+        sim.run()
+        assert g.value == ("late", 5.0)
+
+    def test_fifo_item_order(self, sim):
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        got = []
+
+        def getter(sim, store):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(getter(sim, store))
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_predicate_get_skips_nonmatching(self, sim):
+        store = Store(sim)
+        store.put(("b", 1))
+        store.put(("a", 2))
+
+        def getter(sim, store):
+            item = yield store.get(lambda it: it[0] == "a")
+            return item
+
+        p = sim.process(getter(sim, store))
+        sim.run()
+        assert p.value == ("a", 2)
+        assert store.peek_all() == [("b", 1)]
+
+    def test_pending_predicate_satisfied_by_later_put(self, sim):
+        store = Store(sim)
+
+        def getter(sim, store):
+            item = yield store.get(lambda it: it > 10)
+            return (item, sim.now)
+
+        def putter(sim, store):
+            yield sim.timeout(1.0)
+            store.put(5)  # does not match
+            yield sim.timeout(1.0)
+            store.put(50)  # matches
+
+        g = sim.process(getter(sim, store))
+        sim.process(putter(sim, store))
+        sim.run()
+        assert g.value == (50, 2.0)
+        assert len(store) == 1  # the 5 is still there
+
+    def test_len(self, sim):
+        store = Store(sim)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2

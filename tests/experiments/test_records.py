@@ -1,0 +1,46 @@
+"""Comparison / TableResult record types."""
+
+import pytest
+
+from repro.experiments import Comparison, TableResult
+
+
+class TestComparison:
+    def test_error_pct(self):
+        c = Comparison(measured=11.0, paper=10.0)
+        assert c.error_pct == pytest.approx(10.0)
+
+    def test_error_pct_without_reference(self):
+        assert Comparison(measured=1.0).error_pct is None
+
+    def test_within(self):
+        assert Comparison(10.5, 10.0).within(0.10)
+        assert not Comparison(12.0, 10.0).within(0.10)
+        assert Comparison(12.0, None).within(0.0)  # vacuous without reference
+
+    def test_str_renders_both_values(self):
+        text = str(Comparison(1.5, 1.0, " s"))
+        assert "1.5000 s" in text and "paper 1.0000" in text and "+50.0%" in text
+
+
+class TestTableResult:
+    def make(self):
+        table = TableResult("T", "demo")
+        table.add("row1", "a", Comparison(1.0, 1.0))
+        table.add("row1", "b", Comparison(2.2, 2.0))
+        table.add("row2", "a", Comparison(3.0))
+        return table
+
+    def test_all_within(self):
+        table = self.make()
+        assert table.all_within(0.15)
+        assert not table.all_within(0.05)
+
+    def test_worst_error(self):
+        assert self.make().worst_error_pct() == pytest.approx(10.0)
+
+    def test_render_contains_rows_and_notes(self):
+        table = self.make()
+        table.notes.append("a note")
+        text = table.render()
+        assert "row1" in text and "row2" in text and "a note" in text

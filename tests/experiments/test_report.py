@@ -1,0 +1,25 @@
+"""Report generation."""
+
+from repro.experiments import generate_report, write_report
+
+
+class TestReport:
+    def test_quick_report_contains_tables(self):
+        text = generate_report(quick=True)
+        assert "# Reproduction report" in text
+        assert "Table 1" in text
+        assert "Table 7" in text
+        assert "Table 8" in text
+        assert "Section 2" in text
+        # Quick mode trims the expensive what-if tables.
+        assert "Table 9" not in text
+
+    def test_markdown_table_syntax(self):
+        text = generate_report(quick=True)
+        assert "| row | quantity | measured | paper | error |" in text
+        assert "+0.0%" in text or "-0.0%" in text
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "report.md", quick=True)
+        assert path.exists()
+        assert "Reproduction report" in path.read_text()

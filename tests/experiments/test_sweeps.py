@@ -1,0 +1,36 @@
+"""Sweep utilities (reduced sizes for test speed)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import scalability_curve, speedup_series
+from repro.radar import STAPParams
+
+
+class TestSpeedupSeries:
+    def test_linear_speedup_small(self):
+        params = STAPParams.small()
+        # Keep the non-swept tasks' base counts valid at small scale by
+        # sweeping at paper params with few points (each run ~1s).
+        series = speedup_series("cfar", (4, 8, 16), num_cpis=8)
+        assert [p.nodes for p in series] == [4, 8, 16]
+        for point in series:
+            assert point.speedup == pytest.approx(point.ideal_speedup, rel=0.1)
+            assert 0.85 <= point.efficiency <= 1.15
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            speedup_series("nope", (4,))
+        with pytest.raises(ConfigurationError):
+            speedup_series("cfar", ())
+
+
+class TestScalabilityCurve:
+    def test_throughput_monotone_in_budget(self):
+        curve = scalability_curve((30, 59), num_cpis=8, measured=False)
+        assert curve[1].throughput > curve[0].throughput
+        assert curve[0].assignment.total_nodes <= 30
+
+    def test_empty_budgets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scalability_curve(())

@@ -1,0 +1,78 @@
+"""Experiment runners (short CPI counts for test speed)."""
+
+import pytest
+
+from repro.experiments import (
+    run_baseline,
+    run_table1,
+    run_table7,
+    run_table8,
+    run_table9,
+    PAPER_CASES,
+)
+
+
+class TestTable1:
+    def test_matches_paper_tightly(self):
+        result = run_table1()
+        assert result.all_within(0.0005)
+        assert result.worst_error_pct() < 0.05
+
+    def test_has_all_tasks(self):
+        result = run_table1()
+        assert "hard_weight" in result.rows and "total" in result.rows
+
+
+class TestTable7:
+    def test_case3_comp_column(self):
+        result = run_table7("case3", num_cpis=10)
+        for task in ("doppler", "hard_weight", "cfar"):
+            assert result.rows[task]["comp"].within(0.15), task
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(KeyError):
+            run_table7("case9")
+
+    def test_render(self):
+        text = run_table7("case3", num_cpis=8).render()
+        assert "Table 7" in text and "doppler" in text
+
+
+class TestTable8:
+    def test_case3_only_quick(self):
+        result = run_table8(num_cpis=10, cases=("case3",))
+        assert result.rows["case3"]["throughput"].within(0.15)
+        assert result.rows["case3"]["latency"].within(0.20)
+        # Equation latency upper-bounds the measured latency.
+        assert (
+            result.rows["case3"]["eq_latency"].measured
+            >= 0.95 * result.rows["case3"]["latency"].measured
+        )
+
+
+class TestTable9:
+    def test_gains_positive(self):
+        result = run_table9(num_cpis=10)
+        assert result.rows["throughput gain"]["%"].measured > 10.0
+        assert result.rows["latency gain"]["%"].measured > 0.0
+
+    def test_secondary_effect_recv_deltas_negative(self):
+        result = run_table9(num_cpis=10)
+        deltas = [
+            cells["recv delta"].measured
+            for row, cells in result.rows.items()
+            if "recv delta" in cells
+        ]
+        assert sum(1 for d in deltas if d < 0) >= 4
+
+
+class TestBaseline:
+    def test_rtmcarm_numbers(self):
+        result = run_baseline(num_cpis=40)
+        assert result.rows["throughput"]["CPIs/s"].within(0.15)
+        assert result.rows["latency"]["s"].within(0.15)
+
+
+class TestRegistry:
+    def test_named_cases_complete(self):
+        assert set(PAPER_CASES) == {"case1", "case2", "case3", "table9", "table10"}

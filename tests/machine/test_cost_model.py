@@ -1,0 +1,111 @@
+"""Cost models: analytic message costs and copy passes."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MachineError
+from repro.machine import NetworkCostModel, PackingCostModel, ComputeRateTable, NodeModel
+from repro.machine.paragon import PARAGON_NETWORK
+
+
+class TestNetworkCostModel:
+    def test_paper_parameters(self):
+        # "a message startup time of 35.3 usec and a data transfer time of
+        # 6.53 nsec/byte" (Section 6).
+        assert PARAGON_NETWORK.startup_s == pytest.approx(35.3e-6)
+        assert PARAGON_NETWORK.per_byte_s == pytest.approx(6.53e-9)
+
+    def test_point_to_point_is_affine_in_bytes(self):
+        cost = NetworkCostModel(startup_s=1e-5, per_byte_s=1e-9, per_hop_s=0.0)
+        t1 = cost.point_to_point(1000)
+        t2 = cost.point_to_point(2000)
+        assert t2 - t1 == pytest.approx(1000 * 1e-9)
+
+    def test_hops_add_latency(self):
+        cost = NetworkCostModel(per_hop_s=1e-7)
+        assert cost.point_to_point(0, hops=10) - cost.point_to_point(0, hops=0) == (
+            pytest.approx(1e-6)
+        )
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkCostModel().point_to_point(-1)
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkCostModel(startup_s=-1.0)
+
+    def test_occupancy_excludes_startup(self):
+        cost = NetworkCostModel(startup_s=1.0, per_byte_s=2e-9)
+        assert cost.occupancy(500) == pytest.approx(1e-6)
+
+
+class TestPackingCostModel:
+    def test_strided_slower_than_contiguous(self):
+        pack = PackingCostModel()
+        assert pack.copy_time(10_000, strided=True) > pack.copy_time(
+            10_000, strided=False
+        )
+
+    def test_copy_time_linear(self):
+        pack = PackingCostModel(contiguous_per_byte_s=1e-9, strided_per_byte_s=1e-8)
+        assert pack.copy_time(100, strided=False) == pytest.approx(1e-7)
+        assert pack.copy_time(100, strided=True) == pytest.approx(1e-6)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PackingCostModel().copy_time(-5, strided=False)
+
+
+class TestComputeRateTable:
+    def test_default_has_all_kernels(self):
+        table = ComputeRateTable()
+        for kernel in ("doppler", "hard_weight", "cfar", "default"):
+            assert table.rate(kernel) > 0
+
+    def test_unknown_kernel_falls_back_to_default(self):
+        table = ComputeRateTable()
+        assert table.rate("not-a-kernel") == table.rate("default")
+
+    def test_time_for_inverse_of_rate(self):
+        table = ComputeRateTable(rates={"default": 1e6})
+        assert table.time_for("default", 5e6) == pytest.approx(5.0)
+
+    def test_scaled(self):
+        table = ComputeRateTable(rates={"default": 1e6})
+        assert table.scaled(2.0).rate("default") == pytest.approx(2e6)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(MachineError):
+            ComputeRateTable(rates={"default": 0.0})
+
+    def test_missing_default_rejected(self):
+        with pytest.raises(MachineError):
+            ComputeRateTable(rates={"doppler": 1e6})
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(MachineError):
+            ComputeRateTable().time_for("default", -1.0)
+
+
+class TestNodeModel:
+    def test_single_processor_no_smp_speedup(self):
+        node = NodeModel(processors_per_node=1)
+        assert node.smp_speedup == 1.0
+
+    def test_three_processors_sublinear(self):
+        node = NodeModel(processors_per_node=3, smp_efficiency=0.85)
+        assert node.smp_speedup == pytest.approx(1.0 + 2 * 0.85)
+        assert node.smp_speedup < 3.0
+
+    def test_compute_time_uses_speedup(self):
+        one = NodeModel(processors_per_node=1)
+        three = NodeModel(processors_per_node=3)
+        assert three.compute_time("default", 1e6) < one.compute_time("default", 1e6)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(MachineError):
+            NodeModel(processors_per_node=0)
+        with pytest.raises(MachineError):
+            NodeModel(smp_efficiency=0.0)
+        with pytest.raises(MachineError):
+            NodeModel(memory_bytes=0)

@@ -1,0 +1,93 @@
+"""Mesh topology: coordinates, neighbours, XY routes."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import Mesh2D, Link
+
+
+class TestCoordinates:
+    def test_row_major_numbering(self):
+        mesh = Mesh2D(4, 3)
+        assert mesh.coords(0) == (0, 0)
+        assert mesh.coords(3) == (3, 0)
+        assert mesh.coords(4) == (0, 1)
+        assert mesh.coords(11) == (3, 2)
+
+    def test_node_at_is_inverse_of_coords(self):
+        mesh = Mesh2D(5, 4)
+        for node in range(mesh.num_nodes):
+            assert mesh.node_at(*mesh.coords(node)) == node
+
+    def test_out_of_range_node_rejected(self):
+        mesh = Mesh2D(3, 3)
+        with pytest.raises(MachineError):
+            mesh.coords(9)
+        with pytest.raises(MachineError):
+            mesh.coords(-1)
+
+    def test_out_of_range_coords_rejected(self):
+        mesh = Mesh2D(3, 3)
+        with pytest.raises(MachineError):
+            mesh.node_at(3, 0)
+
+    def test_degenerate_mesh_rejected(self):
+        with pytest.raises(MachineError):
+            Mesh2D(0, 5)
+
+
+class TestNeighbors:
+    def test_corner_has_two_neighbors(self):
+        mesh = Mesh2D(4, 4)
+        assert sorted(mesh.neighbors(0)) == [1, 4]
+
+    def test_edge_has_three_neighbors(self):
+        mesh = Mesh2D(4, 4)
+        assert sorted(mesh.neighbors(1)) == [0, 2, 5]
+
+    def test_interior_has_four_neighbors(self):
+        mesh = Mesh2D(4, 4)
+        assert sorted(mesh.neighbors(5)) == [1, 4, 6, 9]
+
+    def test_neighbors_are_one_hop(self):
+        mesh = Mesh2D(5, 3)
+        for node in range(mesh.num_nodes):
+            for nb in mesh.neighbors(node):
+                assert mesh.hop_distance(node, nb) == 1
+
+
+class TestRouting:
+    def test_route_length_equals_hop_distance(self):
+        mesh = Mesh2D(6, 5)
+        for src, dst in [(0, 29), (7, 13), (24, 5), (3, 3)]:
+            assert len(mesh.route(src, dst)) == mesh.hop_distance(src, dst)
+
+    def test_route_is_connected_and_ends_correctly(self):
+        mesh = Mesh2D(6, 5)
+        route = mesh.route(2, 27)
+        assert route[0].src == 2
+        assert route[-1].dst == 27
+        for a, b in zip(route, route[1:]):
+            assert a.dst == b.src
+
+    def test_xy_order_x_first(self):
+        mesh = Mesh2D(4, 4)
+        route = mesh.route(0, 10)  # (0,0) -> (2,2)
+        xs = [mesh.coords(l.dst)[0] for l in route]
+        ys = [mesh.coords(l.dst)[1] for l in route]
+        # X is fully resolved before Y moves.
+        assert xs == [1, 2, 2, 2]
+        assert ys == [0, 0, 1, 2]
+
+    def test_self_route_is_empty(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.route(5, 5) == []
+
+    def test_all_links_count(self):
+        mesh = Mesh2D(3, 2)
+        # Directed links: 2 * (horizontal (w-1)*h + vertical w*(h-1)).
+        expected = 2 * ((3 - 1) * 2 + 3 * (2 - 1))
+        assert len(list(mesh.all_links())) == expected
+
+    def test_link_reversed(self):
+        assert Link(2, 3).reversed() == Link(3, 2)

@@ -1,0 +1,127 @@
+"""Network simulation: transfer timing and endpoint/link contention."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.errors import MachineError
+from repro.machine import Mesh2D, Network, NetworkCostModel, ContentionMode
+
+
+def make_network(contention, **cost_kwargs):
+    sim = Simulator()
+    mesh = Mesh2D(4, 4)
+    cost = NetworkCostModel(**cost_kwargs)
+    return sim, Network(sim, mesh, cost, contention=contention)
+
+
+class TestUncontendedTiming:
+    def test_single_transfer_time_matches_model(self):
+        sim, net = make_network("none", startup_s=1e-5, per_byte_s=1e-9, per_hop_s=1e-7)
+        done = net.transfer(0, 3, 1000)  # 3 hops along x
+        sim.run()
+        assert done.processed
+        expected = 1e-5 + 1000 * 1e-9 + 3 * 1e-7
+        assert sim.now == pytest.approx(expected)
+
+    def test_self_transfer_cheap(self):
+        sim, net = make_network("none", startup_s=1e-5, per_byte_s=1e-9)
+        net.transfer(5, 5, 1000)
+        sim.run()
+        assert sim.now == pytest.approx(1000 * 1e-9)  # no startup
+
+    def test_counters(self):
+        sim, net = make_network("none")
+        net.transfer(0, 1, 100)
+        net.transfer(1, 2, 200)
+        sim.run()
+        assert net.messages_sent == 2
+        assert net.bytes_sent == 300
+
+    def test_negative_size_rejected(self):
+        sim, net = make_network("none")
+        with pytest.raises(MachineError):
+            net.transfer(0, 1, -1)
+
+
+class TestEndpointContention:
+    def test_two_sends_from_same_node_serialize(self):
+        # With endpoint contention, a node's injection port is held for the
+        # serialization time, so two large messages from one source take
+        # about twice as long as one.
+        per_byte = 1e-6  # exaggerate serialization
+        sim, net = make_network("endpoint", startup_s=0.0, per_byte_s=per_byte,
+                                per_hop_s=0.0)
+        d1 = net.transfer(0, 1, 1000)
+        d2 = net.transfer(0, 2, 1000)
+        sim.run()
+        assert d1.processed and d2.processed
+        assert sim.now == pytest.approx(2 * 1000 * per_byte)
+
+    def test_sends_from_distinct_nodes_overlap(self):
+        per_byte = 1e-6
+        sim, net = make_network("endpoint", startup_s=0.0, per_byte_s=per_byte,
+                                per_hop_s=0.0)
+        net.transfer(0, 1, 1000)
+        net.transfer(4, 5, 1000)
+        sim.run()
+        assert sim.now == pytest.approx(1000 * per_byte)
+
+    def test_receiver_port_also_serializes(self):
+        per_byte = 1e-6
+        sim, net = make_network("endpoint", startup_s=0.0, per_byte_s=per_byte,
+                                per_hop_s=0.0)
+        net.transfer(0, 5, 1000)
+        net.transfer(1, 5, 1000)
+        sim.run()
+        assert sim.now == pytest.approx(2 * 1000 * per_byte)
+
+    def test_wait_time_visible_in_diagnostics(self):
+        per_byte = 1e-6
+        sim, net = make_network("endpoint", startup_s=0.0, per_byte_s=per_byte)
+        net.transfer(0, 1, 1000)
+        net.transfer(0, 2, 1000)
+        sim.run()
+        assert net.endpoint_wait_time(0) > 0.0
+
+
+class TestLinkContention:
+    def test_disjoint_routes_overlap(self):
+        per_byte = 1e-6
+        sim, net = make_network("links", startup_s=0.0, per_byte_s=per_byte,
+                                per_hop_s=0.0)
+        net.transfer(0, 1, 1000)      # row 0
+        net.transfer(12, 13, 1000)    # row 3
+        sim.run()
+        assert sim.now == pytest.approx(1000 * per_byte)
+
+    def test_shared_link_serializes(self):
+        per_byte = 1e-6
+        sim, net = make_network("links", startup_s=0.0, per_byte_s=per_byte,
+                                per_hop_s=0.0)
+        # Both routes traverse link 1->2 (XY routing along row 0).
+        net.transfer(0, 3, 1000)
+        net.transfer(1, 3, 1000)
+        sim.run()
+        assert sim.now == pytest.approx(2 * 1000 * per_byte)
+
+    def test_no_deadlock_on_opposing_routes(self):
+        # Canonical-order acquisition must not deadlock crossing transfers.
+        sim, net = make_network("links", startup_s=0.0, per_byte_s=1e-6)
+        done = [net.transfer(0, 3, 100), net.transfer(3, 0, 100),
+                net.transfer(0, 12, 100), net.transfer(12, 0, 100)]
+        sim.run()
+        assert all(d.processed for d in done)
+
+
+class TestContentionModeParsing:
+    def test_string_aliases(self):
+        sim = Simulator()
+        mesh = Mesh2D(2, 2)
+        for mode in ("none", "endpoint", "links"):
+            net = Network(sim, mesh, contention=mode)
+            assert net.contention == ContentionMode(mode)
+
+    def test_bad_mode_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Network(sim, Mesh2D(2, 2), contention="wormhole")

@@ -1,0 +1,38 @@
+"""Preconfigured machines."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import afrl_paragon, ruggedized_paragon
+
+
+class TestAfrlParagon:
+    def test_has_at_least_321_nodes(self):
+        # "This machine contains 321 compute nodes" (Section 6).
+        assert afrl_paragon().num_nodes >= 321
+
+    def test_single_processor_message_passing_nodes(self):
+        assert afrl_paragon().node.processors_per_node == 1
+
+    def test_node_budget_check(self):
+        machine = afrl_paragon()
+        machine.check_node_budget(236)  # the paper's largest run
+        with pytest.raises(MachineError):
+            machine.check_node_budget(10_000)
+
+    def test_compute_time_positive(self):
+        machine = afrl_paragon()
+        assert machine.compute_time("doppler", 1e6) > 0
+
+
+class TestRuggedizedParagon:
+    def test_25_nodes_3_processors(self):
+        # "25 compute nodes ... each compute node has three i860
+        # processors" (Section 2).
+        machine = ruggedized_paragon()
+        assert machine.num_nodes == 25
+        assert machine.node.processors_per_node == 3
+
+    def test_smp_speedup_between_1_and_3(self):
+        speedup = ruggedized_paragon().node.smp_speedup
+        assert 1.0 < speedup < 3.0

@@ -1,0 +1,164 @@
+"""Collectives over point-to-point: correctness at several sizes/roots."""
+
+import numpy as np
+import pytest
+
+from repro.des import Simulator
+from repro.errors import MPIError
+from repro.machine import afrl_paragon
+from repro.mpi import World, collectives
+
+
+def run_collective(num_ranks, body):
+    """Run ``body(ctx, out)`` on every rank; returns the shared out dict."""
+    sim = Simulator()
+    world = World(sim, afrl_paragon(), num_ranks=num_ranks, contention="none")
+    out = {}
+
+    def program(ctx):
+        yield from body(ctx, out)
+
+    world.spawn_all(program)
+    sim.run()
+    return out
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 13])
+@pytest.mark.parametrize("root", [0, "last"])
+class TestBcast:
+    def test_value_reaches_all(self, size, root):
+        root_rank = size - 1 if root == "last" else 0
+
+        def body(ctx, out):
+            value = ("payload", 42) if ctx.rank == root_rank else None
+            value = yield from collectives.bcast(ctx, value, root=root_rank)
+            out[ctx.rank] = value
+
+        out = run_collective(size, body)
+        assert all(out[r] == ("payload", 42) for r in range(size))
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 7])
+class TestGatherScatter:
+    def test_gather_orders_by_rank(self, size):
+        def body(ctx, out):
+            result = yield from collectives.gather(ctx, ctx.rank * 10, root=0)
+            if ctx.rank == 0:
+                out["gathered"] = result
+            else:
+                assert result is None
+
+        out = run_collective(size, body)
+        assert out["gathered"] == [10 * r for r in range(size)]
+
+    def test_scatter_delivers_own_item(self, size):
+        def body(ctx, out):
+            values = [f"item{r}" for r in range(size)] if ctx.rank == 0 else None
+            item = yield from collectives.scatter(ctx, values, root=0)
+            out[ctx.rank] = item
+
+        out = run_collective(size, body)
+        assert out == {r: f"item{r}" for r in range(size)}
+
+    def test_scatter_wrong_length_rejected(self, size):
+        def body(ctx, out):
+            if ctx.rank == 0:
+                try:
+                    yield from collectives.scatter(ctx, [1] * (size + 1), root=0)
+                except MPIError:
+                    out["raised"] = True
+                    # Unblock the other ranks with a correct scatter.
+                    yield from collectives.scatter(ctx, list(range(size)), root=0)
+            else:
+                yield from collectives.scatter(ctx, None, root=0)
+
+        out = run_collective(size, body)
+        assert out.get("raised") is True
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 6, 9])
+class TestReduceAllreduce:
+    def test_reduce_sum(self, size):
+        def body(ctx, out):
+            total = yield from collectives.reduce(ctx, ctx.rank + 1, op=lambda a, b: a + b, root=0)
+            if ctx.rank == 0:
+                out["sum"] = total
+
+        out = run_collective(size, body)
+        assert out["sum"] == size * (size + 1) // 2
+
+    def test_allreduce_max_everywhere(self, size):
+        def body(ctx, out):
+            result = yield from collectives.allreduce(ctx, ctx.rank, op=max)
+            out[ctx.rank] = result
+
+        out = run_collective(size, body)
+        assert all(v == size - 1 for v in out.values())
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 6])
+class TestAlltoall:
+    def test_personalized_exchange(self, size):
+        def body(ctx, out):
+            values = [f"{ctx.rank}->{d}" for d in range(size)]
+            result = yield from collectives.alltoall(ctx, values)
+            out[ctx.rank] = result
+
+        out = run_collective(size, body)
+        for r in range(size):
+            assert out[r] == [f"{s}->{r}" for s in range(size)]
+
+    def test_wrong_length_rejected(self, size):
+        def body(ctx, out):
+            try:
+                yield from collectives.alltoall(ctx, [0] * (size + 1))
+            except MPIError:
+                out[ctx.rank] = "raised"
+            # Recover with a correct exchange so no rank deadlocks.
+            yield from collectives.alltoall(ctx, [0] * size)
+
+        out = run_collective(size, body)
+        assert all(v == "raised" for v in out.values())
+
+
+class TestAlltoallv:
+    def test_sparse_exchange(self):
+        # Ring: rank r sends to (r+1) % size only.
+        size = 5
+
+        def body(ctx, out):
+            nxt = (ctx.rank + 1) % size
+            prv = (ctx.rank - 1) % size
+            received = yield from collectives.alltoallv(
+                ctx, sends={nxt: (f"from{ctx.rank}", 64)}, sources=[prv]
+            )
+            out[ctx.rank] = received
+
+        out = run_collective(size, body)
+        for r in range(size):
+            assert out[r] == {(r - 1) % size: f"from{(r - 1) % size}"}
+
+
+class TestBarrier:
+    def test_no_rank_proceeds_until_all_arrive(self):
+        size = 4
+        def body(ctx, out):
+            # Stagger arrivals; everyone must leave at (or after) the last.
+            yield ctx.elapse(float(ctx.rank))
+            yield from collectives.barrier(ctx)
+            out[ctx.rank] = ctx.wtime()
+
+        out = run_collective(size, body)
+        slowest_arrival = size - 1
+        assert all(t >= slowest_arrival for t in out.values())
+
+    def test_bad_root_rejected(self):
+        def body(ctx, out):
+            try:
+                yield from collectives.bcast(ctx, 1, root=99)
+            except MPIError:
+                out[ctx.rank] = "raised"
+            yield ctx.elapse(0.0)
+
+        out = run_collective(2, body)
+        assert all(v == "raised" for v in out.values())

@@ -1,0 +1,114 @@
+"""Communicators: rank translation, sub-communicators, context isolation."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.errors import MPIError
+from repro.machine import afrl_paragon
+from repro.mpi import World, Communicator
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    return World(sim, afrl_paragon(), num_ranks=6, contention="none")
+
+
+class TestRankTranslation:
+    def test_world_comm_identity(self, world):
+        comm = world.comm
+        assert comm.size == 6
+        for r in range(6):
+            assert comm.world_rank_of(r) == r
+            assert comm.local_rank_of(r) == r
+
+    def test_subcomm_translation(self, world):
+        sub = Communicator(world, [4, 2, 0])
+        assert sub.size == 3
+        assert sub.world_rank_of(0) == 4
+        assert sub.world_rank_of(2) == 0
+        assert sub.local_rank_of(2) == 1
+
+    def test_nonmember_lookup_raises(self, world):
+        sub = Communicator(world, [0, 1])
+        with pytest.raises(MPIError):
+            sub.local_rank_of(5)
+
+    def test_out_of_range_local_raises(self, world):
+        with pytest.raises(MPIError):
+            world.comm.world_rank_of(99)
+
+    def test_duplicate_ranks_rejected(self, world):
+        with pytest.raises(MPIError):
+            Communicator(world, [0, 0, 1])
+
+    def test_create_comm_from_local_ranks(self, world):
+        sub = world.comm.create_comm([1, 3, 5])
+        assert [sub.world_rank_of(i) for i in range(3)] == [1, 3, 5]
+
+    def test_distinct_context_ids(self, world):
+        a = Communicator(world, [0, 1])
+        b = Communicator(world, [0, 1])
+        assert a.context_id != b.context_id
+
+
+class TestContextIsolation:
+    def test_message_on_one_comm_invisible_to_other(self):
+        sim = Simulator()
+        world = World(sim, afrl_paragon(), num_ranks=2, contention="none")
+        comm_a = Communicator(world, [0, 1])
+        comm_b = Communicator(world, [0, 1])
+        log = {}
+
+        def rank0(ctx):
+            yield comm_a.isend("on-A", dest=1, tag=0, src=0)
+            yield comm_b.isend("on-B", dest=1, tag=0, src=0)
+
+        def rank1(ctx):
+            # Receive on B first even though A's send was posted first:
+            # contexts do not leak into each other.
+            msg_b = yield comm_b.irecv(source=0, tag=0, dst=1)
+            msg_a = yield comm_a.irecv(source=0, tag=0, dst=1)
+            log["order"] = [msg_b.payload, msg_a.payload]
+
+        world.spawn(0, rank0)
+        world.spawn(1, rank1)
+        sim.run()
+        assert log["order"] == ["on-B", "on-A"]
+
+    def test_source_translated_to_local_rank(self):
+        sim = Simulator()
+        world = World(sim, afrl_paragon(), num_ranks=4, contention="none")
+        sub = Communicator(world, [3, 1])  # local 0 = world 3, local 1 = world 1
+        log = {}
+
+        def program(ctx):
+            if ctx.world_rank == 3:
+                yield sub.isend("hi", dest=1, tag=0, src=0)
+            elif ctx.world_rank == 1:
+                msg = yield sub.irecv(source=0, tag=0, dst=1)
+                log["source"] = msg.source
+            else:
+                yield ctx.elapse(0.0)
+
+        world.spawn_all(program)
+        sim.run()
+        assert log["source"] == 0  # local rank of world rank 3 in sub
+
+
+class TestContextBinding:
+    def test_rank_context_on_subcomm(self):
+        sim = Simulator()
+        world = World(sim, afrl_paragon(), num_ranks=4, contention="none")
+        sub = Communicator(world, [2, 3])
+        log = {}
+
+        def program(ctx):
+            if ctx.world_rank in (2, 3):
+                sctx = ctx.on(sub)
+                log[ctx.world_rank] = sctx.rank
+            yield ctx.elapse(0.0)
+
+        world.spawn_all(program)
+        sim.run()
+        assert log == {2: 0, 3: 1}

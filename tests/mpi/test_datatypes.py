@@ -1,0 +1,41 @@
+"""Message envelope and payload size inference."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import Message, payload_nbytes
+
+
+class TestPayloadNbytes:
+    def test_none_is_zero(self):
+        assert payload_nbytes(None) == 0
+
+    def test_ndarray_uses_nbytes(self):
+        arr = np.zeros((4, 8), dtype=np.complex64)
+        assert payload_nbytes(arr) == arr.nbytes == 256
+
+    def test_bytes_like(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes(bytearray(10)) == 10
+
+    def test_containers_sum_recursively(self):
+        a = np.zeros(10, dtype=np.float64)  # 80 bytes
+        b = np.zeros(5, dtype=np.float32)  # 20 bytes
+        assert payload_nbytes([a, b]) == 100
+        assert payload_nbytes({"x": a, "y": b}) == 100
+        assert payload_nbytes((a, [b, b])) == 120
+
+    def test_scalar_fallback_is_cache_line(self):
+        assert payload_nbytes(42) == 64
+        assert payload_nbytes("hello") == 64
+
+
+class TestMessage:
+    def test_transit_time(self):
+        msg = Message(source=0, tag=1, payload=None, nbytes=8, sent_at=1.0)
+        msg.delivered_at = 1.5
+        assert msg.transit_time == pytest.approx(0.5)
+
+    def test_unset_delivery_is_nan(self):
+        msg = Message(source=0, tag=1, payload=None, nbytes=8, sent_at=1.0)
+        assert np.isnan(msg.transit_time)

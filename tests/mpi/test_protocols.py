@@ -1,0 +1,127 @@
+"""Eager vs rendezvous transfer protocols."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.machine import afrl_paragon
+from repro.mpi import World
+
+
+def make_world(eager_threshold):
+    sim = Simulator()
+    world = World(
+        sim,
+        afrl_paragon(),
+        num_ranks=2,
+        contention="none",
+        eager_threshold=eager_threshold,
+    )
+    return sim, world
+
+
+class TestEagerProtocol:
+    def test_small_send_completes_before_recv_posted(self):
+        events = {}
+
+        def program(ctx):
+            if ctx.rank == 0:
+                req = ctx.isend(b"x" * 100, dest=1, tag=0, nbytes=100)
+                yield req
+                events["send_done_at"] = ctx.wtime()
+            else:
+                yield ctx.elapse(5.0)  # receiver shows up late
+                msg = yield ctx.irecv(source=0, tag=0)
+                events["recv_done_at"] = ctx.wtime()
+                assert msg.payload == b"x" * 100
+
+        sim, world = make_world(eager_threshold=1024)
+        world.spawn_all(program)
+        sim.run()
+        # Sender did not wait for the late receiver.
+        assert events["send_done_at"] < 1.0
+        assert events["recv_done_at"] >= 5.0
+
+    def test_reordered_small_sends_do_not_deadlock(self):
+        got = []
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.isend("A", dest=1, tag=1)
+                yield ctx.isend("B", dest=1, tag=2)
+            else:
+                msg_b = yield ctx.irecv(source=0, tag=2)
+                msg_a = yield ctx.irecv(source=0, tag=1)
+                got.extend([msg_b.payload, msg_a.payload])
+
+        sim, world = make_world(eager_threshold=1024)
+        world.spawn_all(program)
+        sim.run()
+        assert got == ["B", "A"]
+
+
+class TestRendezvousProtocol:
+    def test_large_send_waits_for_receiver(self):
+        events = {}
+
+        def program(ctx):
+            if ctx.rank == 0:
+                req = ctx.isend(None, dest=1, tag=0, nbytes=1_000_000)
+                yield req
+                events["send_done_at"] = ctx.wtime()
+            else:
+                yield ctx.elapse(5.0)
+                yield ctx.irecv(source=0, tag=0)
+                events["recv_done_at"] = ctx.wtime()
+
+        sim, world = make_world(eager_threshold=1024)
+        world.spawn_all(program)
+        sim.run()
+        # The sender's buffer is only reusable after delivery, which in
+        # turn waited for the receiver to post.
+        assert events["send_done_at"] >= 5.0
+        assert events["send_done_at"] == pytest.approx(
+            events["recv_done_at"], abs=1e-9
+        )
+
+    def test_threshold_boundary(self):
+        done_at = {}
+
+        def program(ctx):
+            if ctx.rank == 0:
+                at_threshold = ctx.isend(None, dest=1, tag=1, nbytes=1024)
+                above = ctx.isend(None, dest=1, tag=2, nbytes=1025)
+                yield at_threshold
+                done_at["eager"] = ctx.wtime()
+                yield above
+                done_at["rendezvous"] = ctx.wtime()
+            else:
+                yield ctx.elapse(2.0)
+                yield ctx.irecv(source=0, tag=1)
+                yield ctx.irecv(source=0, tag=2)
+
+        sim, world = make_world(eager_threshold=1024)
+        world.spawn_all(program)
+        sim.run()
+        assert done_at["eager"] < 1.0  # <= threshold: completes at post
+        assert done_at["rendezvous"] >= 2.0  # > threshold: waits for match
+
+    def test_rendezvous_throttles_producer_loop(self):
+        """A producer looping on blocking large sends runs at the
+        consumer's pace — the flow control double buffering relies on."""
+        timestamps = []
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for i in range(4):
+                    yield ctx.isend(None, dest=1, tag=i, nbytes=500_000)
+                    timestamps.append(ctx.wtime())
+            else:
+                for i in range(4):
+                    yield ctx.elapse(1.0)  # slow consumer
+                    yield ctx.irecv(source=0, tag=i)
+
+        sim, world = make_world(eager_threshold=1024)
+        world.spawn_all(program)
+        sim.run()
+        gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+        assert all(gap >= 0.99 for gap in gaps)

@@ -1,0 +1,53 @@
+"""Property-based tests of mesh routing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import Mesh2D
+
+
+@st.composite
+def mesh_and_pair(draw):
+    width = draw(st.integers(min_value=1, max_value=12))
+    height = draw(st.integers(min_value=1, max_value=12))
+    mesh = Mesh2D(width, height)
+    src = draw(st.integers(min_value=0, max_value=mesh.num_nodes - 1))
+    dst = draw(st.integers(min_value=0, max_value=mesh.num_nodes - 1))
+    return mesh, src, dst
+
+
+class TestRoutingProperties:
+    @given(mesh_and_pair())
+    @settings(max_examples=200, deadline=None)
+    def test_route_is_shortest_path(self, data):
+        mesh, src, dst = data
+        route = mesh.route(src, dst)
+        assert len(route) == mesh.hop_distance(src, dst)
+
+    @given(mesh_and_pair())
+    @settings(max_examples=200, deadline=None)
+    def test_route_links_are_adjacent_and_chained(self, data):
+        mesh, src, dst = data
+        route = mesh.route(src, dst)
+        if not route:
+            assert src == dst
+            return
+        assert route[0].src == src
+        assert route[-1].dst == dst
+        for link in route:
+            assert mesh.hop_distance(link.src, link.dst) == 1
+        for a, b in zip(route, route[1:]):
+            assert a.dst == b.src
+
+    @given(mesh_and_pair())
+    @settings(max_examples=200, deadline=None)
+    def test_hop_distance_symmetric(self, data):
+        mesh, src, dst = data
+        assert mesh.hop_distance(src, dst) == mesh.hop_distance(dst, src)
+
+    @given(mesh_and_pair())
+    @settings(max_examples=100, deadline=None)
+    def test_route_never_revisits_a_node(self, data):
+        mesh, src, dst = data
+        route = mesh.route(src, dst)
+        visited = [src] + [link.dst for link in route]
+        assert len(visited) == len(set(visited))

@@ -1,0 +1,131 @@
+"""Property-based tests: partitions tile their domains exactly."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import (
+    BlockPartition,
+    HardUnitPartition,
+    block_of,
+    block_ranges,
+)
+
+
+@st.composite
+def totals_and_parts(draw):
+    total = draw(st.integers(min_value=0, max_value=400))
+    parts = draw(st.integers(min_value=1, max_value=50))
+    return total, parts
+
+
+class TestBlockRangesProperties:
+    @given(totals_and_parts())
+    @settings(max_examples=200, deadline=None)
+    def test_blocks_tile_range(self, data):
+        total, parts = data
+        ranges = block_ranges(total, parts)
+        assert len(ranges) == parts
+        cursor = 0
+        for lo, hi in ranges:
+            assert lo == cursor
+            assert hi >= lo
+            cursor = hi
+        assert cursor == total
+
+    @given(totals_and_parts())
+    @settings(max_examples=200, deadline=None)
+    def test_balance_within_one(self, data):
+        total, parts = data
+        sizes = [hi - lo for lo, hi in block_ranges(total, parts)]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(totals_and_parts())
+    @settings(max_examples=100, deadline=None)
+    def test_block_of_consistent(self, data):
+        total, parts = data
+        if total == 0:
+            return
+        ranges = block_ranges(total, parts)
+        for index in range(total):
+            owner = block_of(total, parts, index)
+            lo, hi = ranges[owner]
+            assert lo <= index < hi
+
+
+@st.composite
+def id_partitions(draw):
+    ids = draw(
+        st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=64,
+                 unique=True)
+    )
+    parts = draw(st.integers(min_value=1, max_value=len(ids)))
+    return BlockPartition.of_ids(sorted(ids), parts)
+
+
+class TestBlockPartitionProperties:
+    @given(id_partitions())
+    @settings(max_examples=150, deadline=None)
+    def test_parts_cover_ids_disjointly(self, partition):
+        seen = []
+        for part in range(partition.parts):
+            seen.extend(partition.ids_of(part).tolist())
+        assert seen == list(partition.ids)
+
+    @given(id_partitions(), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_local_positions_roundtrip(self, partition, data):
+        part = data.draw(st.integers(min_value=0, max_value=partition.parts - 1))
+        mine = partition.ids_of(part)
+        if mine.size == 0:
+            return
+        positions = partition.local_positions(part, mine)
+        assert np.array_equal(positions, np.arange(mine.size))
+
+    @given(id_partitions(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_intersection_subset_of_both(self, partition, data):
+        part = data.draw(st.integers(min_value=0, max_value=partition.parts - 1))
+        others = data.draw(
+            st.lists(st.integers(min_value=0, max_value=10_000), max_size=40)
+        )
+        inter = partition.intersect(part, others)
+        assert set(inter.tolist()) <= set(partition.ids_of(part).tolist())
+        assert set(inter.tolist()) <= set(others)
+
+
+@st.composite
+def unit_partitions(draw):
+    bins = draw(st.integers(min_value=1, max_value=32))
+    segments = draw(st.integers(min_value=1, max_value=8))
+    parts = draw(st.integers(min_value=1, max_value=bins * segments))
+    return HardUnitPartition(
+        bin_ids=tuple(range(100, 100 + bins)), num_segments=segments, parts=parts
+    )
+
+
+class TestHardUnitProperties:
+    @given(unit_partitions())
+    @settings(max_examples=150, deadline=None)
+    def test_units_cover_disjointly(self, partition):
+        all_units = []
+        for part in range(partition.parts):
+            all_units.extend(partition.units_of(part).tolist())
+        assert all_units == list(range(partition.num_units))
+
+    @given(unit_partitions())
+    @settings(max_examples=150, deadline=None)
+    def test_segment_bins_reconstruct_units(self, partition):
+        total = 0
+        for part in range(partition.parts):
+            for seg, bins in partition.segment_bins_of(part).items():
+                assert 0 <= seg < partition.num_segments
+                total += len(bins)
+        assert total == partition.num_units
+
+    @given(unit_partitions())
+    @settings(max_examples=100, deadline=None)
+    def test_decompose_bijective(self, partition):
+        units = np.arange(partition.num_units)
+        bin_pos, segs = partition.decompose(units)
+        reconstructed = bin_pos * partition.num_segments + segs
+        assert np.array_equal(reconstructed, units)

@@ -1,0 +1,103 @@
+"""Property-based tests: redistribution plans stay complete and disjoint
+for arbitrary processor assignments."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.assignment import Assignment
+from repro.core.layout import PipelineLayout
+from repro.core.redistribution import TAG_CODES, hard_training_cells
+from repro.radar import STAPParams
+from repro.scheduling.model import _edge_volumes
+
+
+@st.composite
+def assignments(draw):
+    params = STAPParams.tiny()
+    counts = (
+        draw(st.integers(min_value=1, max_value=8)),   # doppler (K=48)
+        draw(st.integers(min_value=1, max_value=8)),   # easy weight (<=8)
+        draw(st.integers(min_value=1, max_value=16)),  # hard weight units (16)
+        draw(st.integers(min_value=1, max_value=8)),   # easy BF
+        draw(st.integers(min_value=1, max_value=8)),   # hard BF
+        draw(st.integers(min_value=1, max_value=16)),  # pulse compression
+        draw(st.integers(min_value=1, max_value=16)),  # cfar
+    )
+    return params, Assignment(*counts, name="prop")
+
+
+class TestPlanInvariants:
+    @given(assignments())
+    @settings(max_examples=60, deadline=None)
+    def test_total_bytes_independent_of_partitioning(self, data):
+        """The data that must cross each edge is fixed by the algorithm;
+        the assignment only chooses how it is cut into messages."""
+        params, assignment = data
+        layout = PipelineLayout(params, assignment)
+        volumes = _edge_volumes(params)
+        for edge in TAG_CODES:
+            assert layout.plan(edge).total_bytes == volumes[edge]
+
+    @given(assignments())
+    @settings(max_examples=40, deadline=None)
+    def test_bf_k_slices_tile(self, data):
+        params, assignment = data
+        layout = PipelineLayout(params, assignment)
+        for edge in ("dop_to_easy_bf", "dop_to_hard_bf"):
+            plan = layout.plan(edge)
+            for dst in range(plan.dst_size):
+                spans = sorted(
+                    (m.k_start, m.k_stop) for m in plan.recvs_of(dst)
+                )
+                cursor = 0
+                for lo, hi in spans:
+                    assert lo == cursor
+                    cursor = hi
+                assert cursor == params.num_ranges
+
+    @given(assignments())
+    @settings(max_examples=40, deadline=None)
+    def test_hard_units_fully_supplied(self, data):
+        params, assignment = data
+        layout = PipelineLayout(params, assignment)
+        plan = layout.plan("dop_to_hard_weight")
+        per_segment = hard_training_cells(params)
+        unit_partition = layout.hard_weight_units
+        for dst in range(plan.dst_size):
+            rows_by_unit = {}
+            for message in plan.recvs_of(dst):
+                for seg in message.segments:
+                    for b in seg.bin_ids:
+                        rows_by_unit.setdefault((seg.segment, int(b)), []).extend(
+                            seg.row_positions.tolist()
+                        )
+            for seg_idx, bins in unit_partition.segment_bins_of(dst).items():
+                for b in bins:
+                    rows = sorted(rows_by_unit.get((seg_idx, int(b)), []))
+                    assert rows == list(range(len(per_segment[seg_idx])))
+
+    @given(assignments())
+    @settings(max_examples=40, deadline=None)
+    def test_pc_bins_covered_exactly_once(self, data):
+        params, assignment = data
+        layout = PipelineLayout(params, assignment)
+        easy = layout.plan("easy_bf_to_pc")
+        hard = layout.plan("hard_bf_to_pc")
+        for dst in range(layout.pc_bins.parts):
+            ids = np.concatenate(
+                [m.ids for m in easy.recvs_of(dst)]
+                + [m.ids for m in hard.recvs_of(dst)]
+                + [np.empty(0, dtype=int)]
+            )
+            assert np.array_equal(np.sort(ids), layout.pc_bins.ids_of(dst))
+
+    @given(assignments())
+    @settings(max_examples=30, deadline=None)
+    def test_send_recv_views_agree(self, data):
+        params, assignment = data
+        layout = PipelineLayout(params, assignment)
+        for edge in TAG_CODES:
+            plan = layout.plan(edge)
+            sent = sum(plan.send_bytes_of(s) for s in range(plan.src_size))
+            recvd = sum(plan.recv_bytes_of(d) for d in range(plan.dst_size))
+            assert sent == recvd == plan.total_bytes

@@ -1,0 +1,156 @@
+"""Property-based tests of the STAP numerical kernels."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.radar import STAPParams
+from repro.stap.cfar import cfar_detect, reference_cell_counts, cfar_threshold_factor
+from repro.stap.doppler import doppler_filter_block
+from repro.stap.lsq import qr_append_rows, qr_factor, solve_constrained
+
+
+def complex_matrices(max_rows=24, max_cols=8):
+    shapes = st.tuples(
+        st.integers(min_value=1, max_value=max_rows),
+        st.integers(min_value=1, max_value=max_cols),
+    )
+    return shapes.flatmap(
+        lambda shape: st.tuples(
+            hnp.arrays(
+                np.float64,
+                shape,
+                elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+            ),
+            hnp.arrays(
+                np.float64,
+                shape,
+                elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+            ),
+        ).map(lambda pair: pair[0] + 1j * pair[1])
+    )
+
+
+class TestQrProperties:
+    @given(complex_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_information_matrix_preserved(self, a):
+        r = qr_factor(a)
+        assert np.allclose(r.conj().T @ r, a.conj().T @ a, atol=1e-8)
+
+    @given(complex_matrices(max_rows=12, max_cols=5), complex_matrices(max_rows=12, max_cols=5))
+    @settings(max_examples=60, deadline=None)
+    def test_append_equals_concatenate(self, a, b):
+        if a.shape[1] != b.shape[1]:
+            b = b[:, : a.shape[1]]
+            if b.shape[1] != a.shape[1]:
+                return
+        r_inc = qr_append_rows(qr_factor(a), b)
+        r_cat = qr_factor(np.vstack([a, b]))
+        assert np.allclose(r_inc.conj().T @ r_inc, r_cat.conj().T @ r_cat, atol=1e-8)
+
+    @given(
+        complex_matrices(max_rows=20, max_cols=6),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_forgetting_contracts_information(self, a, forget):
+        r0 = qr_factor(a)
+        info0 = r0.conj().T @ r0
+        r1 = qr_append_rows(r0, np.zeros((1, a.shape[1])), forget=forget)
+        info1 = r1.conj().T @ r1
+        assert np.allclose(info1, forget**2 * info0, atol=1e-8)
+
+
+class TestSolveProperties:
+    @given(complex_matrices(max_rows=20, max_cols=6))
+    @settings(max_examples=60, deadline=None)
+    def test_weights_finite_and_normalized(self, a):
+        n = a.shape[1]
+        steering = np.ones((n, 2), dtype=complex) / np.sqrt(n)
+        w = solve_constrained(qr_factor(a), 0.5 * np.eye(n), steering)
+        assert np.all(np.isfinite(w))
+        norms = np.linalg.norm(w, axis=0)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+
+class TestDopplerProperties:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_linearity(self, k_cells, seed):
+        params = STAPParams.tiny()
+        rng = np.random.default_rng(seed)
+        shape = (k_cells, params.num_channels, params.num_pulses)
+        a = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        b = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        out_sum = doppler_filter_block(a + 2.0 * b, params)
+        out_parts = doppler_filter_block(a, params) + 2.0 * doppler_filter_block(b, params)
+        assert np.allclose(out_sum, out_parts, atol=1e-9)
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=30, deadline=None)
+    def test_block_decomposition_matches_full(self, seed):
+        """Doppler filtering a K-slice equals slicing the full result —
+        the property the parallel Doppler task's correctness rests on."""
+        params = STAPParams.tiny()
+        rng = np.random.default_rng(seed)
+        shape = (params.num_ranges, params.num_channels, params.num_pulses)
+        cube = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        full = doppler_filter_block(cube, params)
+        split = params.num_ranges // 3
+        left = doppler_filter_block(cube[:split], params)
+        right = doppler_filter_block(cube[split:], params)
+        assert np.allclose(np.concatenate([left, right], axis=2), full)
+
+
+class TestCfarProperties:
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.floats(min_value=1e-8, max_value=0.5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_threshold_factor_positive_and_decreasing_in_n(self, n, pfa):
+        alpha_n = cfar_threshold_factor(n, pfa)
+        alpha_2n = cfar_threshold_factor(2 * n, pfa)
+        assert alpha_n > 0
+        assert alpha_2n < alpha_n
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=30, deadline=None)
+    def test_scale_invariance(self, seed):
+        """CFAR decisions are invariant to a global power scale — the
+        'constant' in constant false alarm rate."""
+        params = STAPParams.tiny()
+        rng = np.random.default_rng(seed)
+        power = rng.exponential(
+            1.0, size=(params.num_doppler, params.num_beams, params.num_ranges)
+        ).astype(params.real_dtype)
+        base = {(d.doppler_bin, d.beam, d.range_cell) for d in cfar_detect(power, params)}
+        scaled = {
+            (d.doppler_bin, d.beam, d.range_cell)
+            for d in cfar_detect(1000.0 * power, params)
+        }
+        assert base == scaled
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_pfa(self, seed):
+        """A stricter Pfa can only remove detections, never add them."""
+        params = STAPParams.tiny()
+        rng = np.random.default_rng(seed)
+        power = rng.exponential(
+            1.0, size=(params.num_doppler, params.num_beams, params.num_ranges)
+        ).astype(params.real_dtype)
+        loose = {(d.doppler_bin, d.beam, d.range_cell)
+                 for d in cfar_detect(power, params, pfa=1e-2)}
+        strict = {(d.doppler_bin, d.beam, d.range_cell)
+                  for d in cfar_detect(power, params, pfa=1e-4)}
+        assert strict <= loose
+
+    def test_reference_counts_bounded(self):
+        params = STAPParams.tiny()
+        counts = reference_cell_counts(params)
+        assert counts.max() <= 2 * params.cfar_window

@@ -1,0 +1,136 @@
+"""CPI data-cube generation: determinism, power budgets, structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radar import (
+    CPIDataCube,
+    CPIStream,
+    JammerTruth,
+    RadarScenario,
+    STAPParams,
+    TargetTruth,
+    generate_cpi,
+)
+
+
+@pytest.fixture
+def params():
+    return STAPParams.tiny()
+
+
+class TestDeterminism:
+    def test_same_seed_same_cube(self, params):
+        sc = RadarScenario.standard(seed=5)
+        sc = sc.with_targets([])
+        a = generate_cpi(params, sc, 3)
+        b = generate_cpi(params, sc, 3)
+        assert np.array_equal(a.data, b.data)
+
+    def test_different_cpi_indices_differ(self, params):
+        sc = RadarScenario.benign(seed=5)
+        a = generate_cpi(params, sc, 0)
+        b = generate_cpi(params, sc, 1)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_different_seeds_differ(self, params):
+        a = generate_cpi(params, RadarScenario.benign(seed=1), 0)
+        b = generate_cpi(params, RadarScenario.benign(seed=2), 0)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_azimuth_changes_realization(self, params):
+        sc = RadarScenario.benign(seed=5)
+        a = generate_cpi(params, sc, 0, azimuth=0)
+        b = generate_cpi(params, sc, 0, azimuth=1)
+        assert not np.array_equal(a.data, b.data)
+
+
+class TestPowerBudgets:
+    def test_noise_only_power_near_unity(self, params):
+        cube = generate_cpi(params, RadarScenario.benign(seed=0), 0)
+        power = np.mean(np.abs(cube.data) ** 2)
+        assert power == pytest.approx(1.0, rel=0.1)
+
+    def test_clutter_raises_power_to_cnr(self, params):
+        sc = RadarScenario(clutter_to_noise_db=30.0, targets=(), seed=0)
+        cube = generate_cpi(params, sc, 0)
+        power = np.mean(np.abs(cube.data) ** 2)
+        assert power == pytest.approx(1.0 + 1000.0, rel=0.3)
+
+    def test_jammer_adds_power(self, params):
+        base = RadarScenario.benign(seed=0)
+        jammed = RadarScenario(
+            clutter_to_noise_db=-300.0,
+            num_clutter_patches=1,
+            jammers=(JammerTruth(angle_deg=20.0, jnr_db=20.0),),
+            seed=0,
+        )
+        p_base = np.mean(np.abs(generate_cpi(params, base, 0).data) ** 2)
+        p_jam = np.mean(np.abs(generate_cpi(params, jammed, 0).data) ** 2)
+        assert p_jam > 10 * p_base
+
+
+class TestTargets:
+    def test_target_energy_localized_in_range(self, params):
+        tgt = TargetTruth(range_cell=20, normalized_doppler=0.3, angle_deg=0.0, snr_db=60.0)
+        sc = RadarScenario(
+            clutter_to_noise_db=-300.0, num_clutter_patches=1,
+            targets=(tgt,), seed=0,
+        )
+        cube = generate_cpi(params, sc, 0)
+        per_range = np.sum(np.abs(cube.data) ** 2, axis=(1, 2))
+        hot = np.nonzero(per_range > per_range.max() * 1e-2)[0]
+        assert hot.min() >= 20
+        assert hot.max() < 20 + params.waveform_length
+
+    def test_target_truth_recorded(self, params):
+        tgt = TargetTruth(range_cell=10, normalized_doppler=0.2, angle_deg=5.0, snr_db=0.0)
+        sc = RadarScenario(targets=(tgt,), seed=0)
+        cube = generate_cpi(params, sc, 0)
+        assert cube.truth == (tgt,)
+
+    def test_target_outside_ranges_rejected(self, params):
+        tgt = TargetTruth(range_cell=params.num_ranges, normalized_doppler=0.0,
+                          angle_deg=0.0, snr_db=0.0)
+        sc = RadarScenario(targets=(tgt,), seed=0)
+        with pytest.raises(ConfigurationError):
+            generate_cpi(params, sc, 0)
+
+    def test_target_near_edge_truncates_gracefully(self, params):
+        tgt = TargetTruth(range_cell=params.num_ranges - 2, normalized_doppler=0.2,
+                          angle_deg=0.0, snr_db=0.0)
+        sc = RadarScenario(targets=(tgt,), seed=0)
+        cube = generate_cpi(params, sc, 0)  # must not raise
+        assert cube.data.shape[0] == params.num_ranges
+
+
+class TestStream:
+    def test_take_is_deterministic_random_access(self, params):
+        stream = CPIStream(params, RadarScenario.benign(seed=9))
+        cubes = stream.take(4)
+        assert [c.cpi_index for c in cubes] == [0, 1, 2, 3]
+        again = stream.cube(2)
+        assert np.array_equal(cubes[2].data, again.data)
+
+    def test_azimuth_cycling(self, params):
+        stream = CPIStream(params, RadarScenario.benign(seed=9), azimuth_cycle=3)
+        azimuths = [stream.cube(i).azimuth for i in range(7)]
+        assert azimuths == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_invalid_cycle_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            CPIStream(params, RadarScenario.benign(0), azimuth_cycle=0)
+
+    def test_cube_shape_validation(self, params):
+        with pytest.raises(ConfigurationError):
+            CPIDataCube(
+                data=np.zeros((2, 2, 2), dtype=complex),
+                cpi_index=0,
+                azimuth=0,
+                params=params,
+            )
+
+    def test_dtype_matches_params(self, params):
+        cube = CPIStream(params, RadarScenario.benign(0)).cube(0)
+        assert cube.data.dtype == np.dtype(params.dtype)

@@ -1,0 +1,81 @@
+"""Steering vectors and beam geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radar import spatial_steering, temporal_steering, steering_matrix, beam_angles
+
+
+class TestSpatialSteering:
+    def test_unit_norm(self):
+        for angle in (-60.0, 0.0, 30.0):
+            v = spatial_steering(16, angle)
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_boresight_is_uniform_phase(self):
+        v = spatial_steering(8, 0.0)
+        assert np.allclose(v, v[0])
+
+    def test_element_magnitudes_equal(self):
+        v = spatial_steering(8, 37.0)
+        assert np.allclose(np.abs(v), 1 / np.sqrt(8))
+
+    def test_distinct_angles_decorrelate(self):
+        a = spatial_steering(16, 0.0)
+        b = spatial_steering(16, 40.0)
+        assert abs(np.vdot(a, b)) < 0.5
+
+    def test_angle_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spatial_steering(8, 91.0)
+
+    def test_phase_progression_matches_spacing(self):
+        d = 0.5
+        angle = 20.0
+        v = spatial_steering(4, angle, spacing_wavelengths=d)
+        expected_step = 2 * np.pi * d * np.sin(np.deg2rad(angle))
+        phase_steps = np.angle(v[1:] / v[:-1])
+        assert np.allclose(phase_steps, expected_step)
+
+
+class TestTemporalSteering:
+    def test_unit_norm(self):
+        v = temporal_steering(128, 0.25)
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_zero_doppler_constant(self):
+        v = temporal_steering(16, 0.0)
+        assert np.allclose(v, v[0])
+
+    def test_orthogonality_of_bin_centres(self):
+        n = 32
+        a = temporal_steering(n, 3 / n)
+        b = temporal_steering(n, 7 / n)
+        assert abs(np.vdot(a, b)) < 1e-10
+
+
+class TestBeamAngles:
+    def test_default_six_beams_span_transmit_region(self):
+        # "six receive beams were formed by the processor" within a
+        # 25-degree transmit beam (Section 3).
+        angles = beam_angles(6)
+        assert len(angles) == 6
+        assert angles[0] == pytest.approx(-12.5)
+        assert angles[-1] == pytest.approx(12.5)
+
+    def test_single_beam_at_boresight(self):
+        assert beam_angles(1) == pytest.approx([0.0])
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            beam_angles(0)
+
+
+class TestSteeringMatrix:
+    def test_shape_and_columns(self):
+        angles = beam_angles(6)
+        mat = steering_matrix(16, angles)
+        assert mat.shape == (16, 6)
+        for m, angle in enumerate(angles):
+            assert np.allclose(mat[:, m], spatial_steering(16, angle))

@@ -1,0 +1,125 @@
+"""STAPParams: paper defaults, derived quantities, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radar import STAPParams
+
+
+class TestPaperDefaults:
+    """Section 7: 'We specified the parameters ... as follows.'"""
+
+    def test_paper_values(self):
+        p = STAPParams.paper()
+        assert p.num_ranges == 512
+        assert p.num_channels == 16
+        assert p.num_pulses == 128
+        assert p.num_beams == 6
+        assert p.num_easy_doppler == 72
+        assert p.num_hard_doppler == 56
+
+    def test_appendix_constants(self):
+        p = STAPParams.paper()
+        assert p.stagger == 3
+        assert p.beam_constraint_weight == 0.5
+        assert p.freq_constraint_weight == 0.5
+        assert p.forgetting_factor == 0.6
+        assert p.range_segment_boundaries == (0, 75, 150, 225, 300, 375, 512)
+        assert p.num_segments == 6
+
+    def test_cube_sizes(self):
+        p = STAPParams.paper()
+        # 512 x 16 x 128 complex64 = 8 MiB raw; staggered doubles channels.
+        assert p.cpi_cube_bytes == 8 * 1024 * 1024
+        assert p.staggered_cube_bytes == 16 * 1024 * 1024
+
+
+class TestDerived:
+    def test_easy_hard_bins_partition_spectrum(self):
+        p = STAPParams.paper()
+        combined = np.sort(np.concatenate([p.easy_bins, p.hard_bins]))
+        assert np.array_equal(combined, np.arange(p.num_doppler))
+
+    def test_hard_bins_hug_spectrum_edges(self):
+        p = STAPParams.paper()
+        half = p.num_hard_doppler // 2
+        assert np.array_equal(p.hard_bins[:half], np.arange(half))
+        assert np.array_equal(
+            p.hard_bins[half:], np.arange(p.num_doppler - half, p.num_doppler)
+        )
+
+    def test_easy_bins_match_matlab_indexing(self):
+        # MATLAB: numHardDop/2+1 : num_doppler-numHardDop/2 (1-based).
+        p = STAPParams.paper()
+        assert p.easy_bins[0] == 28
+        assert p.easy_bins[-1] == 99
+
+    def test_segment_slices_cover_ranges(self):
+        p = STAPParams.paper()
+        cells = np.concatenate([np.arange(s.start, s.stop) for s in p.segment_slices])
+        assert np.array_equal(cells, np.arange(p.num_ranges))
+
+    def test_easy_train_total_is_three_cpis(self):
+        p = STAPParams.paper()
+        assert p.easy_train_total == 3 * p.easy_train_per_cpi == 96
+
+    def test_tiny_and_small_are_valid(self):
+        for p in (STAPParams.tiny(), STAPParams.small()):
+            assert p.num_easy_doppler > 0
+            assert p.num_segments >= 1
+
+    def test_with_overrides(self):
+        p = STAPParams.paper().with_overrides(num_beams=4)
+        assert p.num_beams == 4
+        assert p.num_ranges == 512
+
+
+class TestValidation:
+    def test_odd_hard_doppler_rejected(self):
+        with pytest.raises(ConfigurationError):
+            STAPParams(num_hard_doppler=55)
+
+    def test_hard_doppler_exceeding_pulses_rejected(self):
+        with pytest.raises(ConfigurationError):
+            STAPParams(num_pulses=32, num_hard_doppler=32)
+
+    def test_bad_segment_boundaries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            STAPParams(range_segment_boundaries=(0, 75, 512, 300))
+        with pytest.raises(ConfigurationError):
+            STAPParams(range_segment_boundaries=(5, 512))
+        with pytest.raises(ConfigurationError):
+            STAPParams(range_segment_boundaries=(0, 400))
+
+    def test_stagger_bounds(self):
+        with pytest.raises(ConfigurationError):
+            STAPParams(stagger=0)
+        with pytest.raises(ConfigurationError):
+            STAPParams(stagger=128)
+
+    def test_training_bounds(self):
+        with pytest.raises(ConfigurationError):
+            STAPParams(easy_train_per_cpi=0)
+        with pytest.raises(ConfigurationError):
+            STAPParams(easy_train_per_cpi=513)
+
+    def test_cfar_bounds(self):
+        with pytest.raises(ConfigurationError):
+            STAPParams(cfar_pfa=0.0)
+        with pytest.raises(ConfigurationError):
+            STAPParams(cfar_window=0)
+        with pytest.raises(ConfigurationError):
+            STAPParams(cfar_guard=-1)
+
+    def test_forgetting_factor_bounds(self):
+        with pytest.raises(ConfigurationError):
+            STAPParams(forgetting_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            STAPParams(forgetting_factor=1.5)
+
+    def test_waveform_length_bounds(self):
+        with pytest.raises(ConfigurationError):
+            STAPParams(waveform_length=0)
+        with pytest.raises(ConfigurationError):
+            STAPParams(waveform_length=513)

@@ -1,0 +1,61 @@
+"""Transmit waveform and matched filter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radar import lfm_chirp, matched_filter_frequency_response
+
+
+class TestChirp:
+    def test_unit_energy(self):
+        for length in (1, 8, 32, 100):
+            pulse = lfm_chirp(length)
+            assert np.linalg.norm(pulse) == pytest.approx(1.0)
+
+    def test_constant_modulus(self):
+        pulse = lfm_chirp(32)
+        assert np.allclose(np.abs(pulse), np.abs(pulse[0]))
+
+    def test_autocorrelation_peaks_at_zero_lag(self):
+        pulse = lfm_chirp(32)
+        corr = np.correlate(pulse, pulse, mode="full")
+        assert np.argmax(np.abs(corr)) == 31  # zero lag
+        # Compression: peak dominates the sidelobes.
+        mags = np.abs(corr)
+        sidelobes = np.delete(mags, 31)
+        assert mags[31] > 2.5 * sidelobes.max()
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lfm_chirp(0)
+        with pytest.raises(ConfigurationError):
+            lfm_chirp(8, bandwidth_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            lfm_chirp(8, bandwidth_fraction=1.5)
+
+
+class TestMatchedFilter:
+    def test_response_is_conjugate_spectrum(self):
+        pulse = lfm_chirp(16)
+        resp = matched_filter_frequency_response(pulse, 64)
+        assert np.allclose(resp, np.conj(np.fft.fft(pulse, 64)))
+
+    def test_fast_convolution_peaks_at_target_range(self):
+        length, k = 16, 128
+        pulse = lfm_chirp(length)
+        resp = matched_filter_frequency_response(pulse, k)
+        signal = np.zeros(k, dtype=complex)
+        k0 = 40
+        signal[k0 : k0 + length] = pulse
+        out = np.fft.ifft(np.fft.fft(signal) * resp)
+        assert np.argmax(np.abs(out)) == k0
+        assert np.abs(out[k0]) == pytest.approx(1.0)  # unit-energy match
+
+    def test_too_short_fft_rejected(self):
+        with pytest.raises(ConfigurationError):
+            matched_filter_frequency_response(lfm_chirp(32), 16)
+
+    def test_matrix_waveform_rejected(self):
+        with pytest.raises(ConfigurationError):
+            matched_filter_frequency_response(np.zeros((2, 2)), 16)

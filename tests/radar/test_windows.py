@@ -1,0 +1,109 @@
+"""Window functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radar import window_by_name, WINDOWS
+from repro.radar.windows import hanning, hamming, blackman, rectangular, taylor
+
+
+class TestShapes:
+    @pytest.mark.parametrize("name", sorted(set(WINDOWS)))
+    @pytest.mark.parametrize("length", [1, 2, 5, 64, 125])
+    def test_length_and_positivity(self, name, length):
+        w = window_by_name(name, length)
+        assert w.shape == (length,)
+        assert np.all(w >= 0)
+        assert np.all(w <= 1.0 + 1e-12)
+
+    @pytest.mark.parametrize("fn", [hanning, hamming, blackman])
+    def test_symmetry(self, fn):
+        w = fn(64)
+        assert np.allclose(w, w[::-1])
+
+    def test_rectangular_is_ones(self):
+        assert np.all(rectangular(10) == 1.0)
+
+    def test_hanning_matches_matlab_convention(self):
+        # MATLAB hanning(N) has nonzero endpoints: sin^2(pi*k/(N+1)).
+        w = hanning(5)
+        n = np.arange(1, 6)
+        assert np.allclose(w, 0.5 * (1 - np.cos(2 * np.pi * n / 6)))
+        assert w[0] > 0.0
+
+    def test_hanning_peak_near_one(self):
+        w = hanning(125)
+        assert w.max() == pytest.approx(1.0, abs=1e-3)
+
+
+class TestSidelobes:
+    def test_hanning_suppresses_sidelobes_vs_rect(self):
+        # The paper: windows "control sidelobe levels" at the cost of
+        # mainlobe width.  Check the first sidelobe of the DFT.
+        n = 125
+        pad = 4096
+        for fn, max_sidelobe_db in ((rectangular, -12.0), (hanning, -30.0)):
+            spectrum = np.abs(np.fft.rfft(fn(n), pad))
+            spectrum /= spectrum[0]
+            # Find the first local minimum, then the peak after it.
+            idx = 1
+            while spectrum[idx + 1] < spectrum[idx]:
+                idx += 1
+            sidelobe = spectrum[idx:].max()
+            assert 20 * np.log10(sidelobe) < max_sidelobe_db
+
+
+class TestTaylor:
+    def test_peak_sidelobe_matches_design(self):
+        """A 30 dB Taylor design must produce ~-30 dB near-in sidelobes."""
+        w = taylor(125, nbar=4, sidelobe_db=30.0)
+        spectrum = np.abs(np.fft.rfft(w, 8192))
+        spectrum /= spectrum[0]
+        idx = 1
+        while spectrum[idx + 1] < spectrum[idx]:
+            idx += 1
+        peak_sidelobe_db = 20 * np.log10(spectrum[idx:].max())
+        assert peak_sidelobe_db == pytest.approx(-30.0, abs=1.5)
+
+    def test_deeper_design_lowers_sidelobes(self):
+        def psl(sidelobe_db):
+            w = taylor(125, nbar=5, sidelobe_db=sidelobe_db)
+            s = np.abs(np.fft.rfft(w, 8192))
+            s /= s[0]
+            i = 1
+            while s[i + 1] < s[i]:
+                i += 1
+            return 20 * np.log10(s[i:].max())
+
+        assert psl(40.0) < psl(25.0) - 10.0
+
+    def test_symmetric_and_normalized(self):
+        w = taylor(64)
+        assert np.allclose(w, w[::-1])
+        assert w.max() == pytest.approx(1.0)
+        assert np.all(w > 0)
+
+    def test_degenerate_and_invalid(self):
+        assert np.array_equal(taylor(1), np.ones(1))
+        with pytest.raises(ConfigurationError):
+            taylor(10, nbar=0)
+        with pytest.raises(ConfigurationError):
+            taylor(10, sidelobe_db=-5.0)
+
+    def test_registered_by_name(self):
+        assert np.allclose(window_by_name("taylor", 32), taylor(32))
+
+
+class TestLookup:
+    def test_aliases(self):
+        assert np.allclose(window_by_name("hann", 10), window_by_name("hanning", 10))
+        assert np.allclose(window_by_name("rect", 10), window_by_name("rectangular", 10))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            window_by_name("kaiser", 10)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            window_by_name("hanning", 0)

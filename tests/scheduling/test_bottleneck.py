@@ -1,0 +1,45 @@
+"""Bottleneck analysis of pipeline runs."""
+
+import pytest
+
+from repro import Assignment, STAPParams, STAPPipeline
+from repro.scheduling import analyze_bottleneck
+
+
+@pytest.fixture(scope="module")
+def starved_weights_result():
+    # Weight tasks get the minimum; everything else is generous — the
+    # Table 10 situation.
+    params = STAPParams.small()
+    return STAPPipeline(
+        params, Assignment(6, 1, 2, 3, 4, 4, 4, name="starved"), num_cpis=10
+    ).run()
+
+
+class TestAnalysis:
+    def test_identifies_weight_bottleneck(self, starved_weights_result):
+        report = analyze_bottleneck(starved_weights_result.metrics)
+        assert report.bottleneck_task in ("hard_weight", "easy_weight")
+
+    def test_downstream_tasks_starved(self, starved_weights_result):
+        report = analyze_bottleneck(starved_weights_result.metrics)
+        # "the receiving time of the rest of the tasks are much larger than
+        # their computation time" (Section 7.3).
+        assert "pulse_compression" in report.starved_tasks or (
+            "cfar" in report.starved_tasks
+        )
+
+    def test_overhead_fractions_bounded(self, starved_weights_result):
+        report = analyze_bottleneck(starved_weights_result.metrics)
+        for fraction in report.overhead_fraction.values():
+            assert 0.0 <= fraction <= 1.0
+
+    def test_throughput_capped_by_bottleneck(self, starved_weights_result):
+        report = analyze_bottleneck(starved_weights_result.metrics)
+        assert report.throughput == pytest.approx(
+            1.0 / report.bottleneck_seconds, rel=0.2
+        )
+
+    def test_summary_renders(self, starved_weights_result):
+        text = analyze_bottleneck(starved_weights_result.metrics).summary()
+        assert "bottleneck" in text

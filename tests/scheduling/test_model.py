@@ -1,0 +1,70 @@
+"""Analytic pipeline model: monotonicity, agreement with simulation."""
+
+import pytest
+
+from repro import Assignment, CASE1, CASE2, CASE3, STAPParams, STAPPipeline
+from repro.core.assignment import TASK_NAMES
+from repro.errors import ConfigurationError
+from repro.scheduling import AnalyticPipelineModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticPipelineModel(STAPParams.paper())
+
+
+class TestTaskTimes:
+    def test_times_decrease_with_nodes(self, model):
+        for task in TASK_NAMES:
+            times = [model.task_seconds(task, n) for n in (1, 2, 4, 8, 16)]
+            assert all(b < a for a, b in zip(times, times[1:]))
+
+    def test_perfect_scaling_shape(self, model):
+        # The separable model is exactly 1/P.
+        for task in TASK_NAMES:
+            assert model.task_seconds(task, 8) == pytest.approx(
+                model.task_seconds(task, 1) / 8
+            )
+
+    def test_zero_nodes_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.task_seconds("doppler", 0)
+
+    def test_hard_weight_slowest_per_node(self, model):
+        times = {t: model.task_seconds(t, 1) for t in TASK_NAMES}
+        assert max(times, key=times.get) == "hard_weight"
+
+
+class TestPredictions:
+    def test_throughput_doubles_case3_to_case2_to_case1(self, model):
+        t3 = model.throughput(CASE3)
+        t2 = model.throughput(CASE2)
+        t1 = model.throughput(CASE1)
+        assert t2 / t3 == pytest.approx(2.0, rel=0.05)
+        assert t1 / t2 == pytest.approx(2.0, rel=0.05)
+
+    def test_latency_halves_case3_to_case2_to_case1(self, model):
+        l3, l2, l1 = model.latency(CASE3), model.latency(CASE2), model.latency(CASE1)
+        assert l3 / l2 == pytest.approx(2.0, rel=0.05)
+        assert l2 / l1 == pytest.approx(2.0, rel=0.05)
+
+    def test_predictions_close_to_simulation(self):
+        """The closed-form model must track the discrete-event simulation
+        (it ignores idle/queueing, so agreement within ~20%)."""
+        params = STAPParams.small()
+        assignment = Assignment(4, 2, 8, 2, 4, 2, 2, name="check")
+        model = AnalyticPipelineModel(params)
+        sim_result = STAPPipeline(params, assignment, num_cpis=10).run()
+        predicted = model.throughput(assignment)
+        measured = sim_result.metrics.measured_throughput
+        assert predicted == pytest.approx(measured, rel=0.25)
+
+    def test_paper_throughputs_within_band(self, model):
+        # Table 8 real: 7.27 / 3.80 / 1.99 CPIs per second.
+        assert model.throughput(CASE1) == pytest.approx(7.27, rel=0.2)
+        assert model.throughput(CASE2) == pytest.approx(3.80, rel=0.2)
+        assert model.throughput(CASE3) == pytest.approx(1.99, rel=0.2)
+
+    def test_bottleneck_identification(self, model):
+        starved_weights = Assignment(32, 2, 4, 16, 16, 16, 16, name="starved")
+        assert model.bottleneck(starved_weights) in ("hard_weight", "easy_weight")

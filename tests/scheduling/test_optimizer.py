@@ -1,0 +1,98 @@
+"""Assignment optimizers: feasibility, optimality, constraint handling."""
+
+import pytest
+
+from repro import CASE2, STAPParams
+from repro.core.assignment import TASK_NAMES
+from repro.errors import AssignmentError
+from repro.scheduling import (
+    AnalyticPipelineModel,
+    exhaustive_search,
+    optimize_latency,
+    optimize_throughput,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticPipelineModel(STAPParams.paper())
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    return AnalyticPipelineModel(STAPParams.tiny())
+
+
+class TestThroughputOptimizer:
+    def test_budget_respected(self, model):
+        for budget in (7, 20, 59, 118):
+            assignment = optimize_throughput(model, budget)
+            assert assignment.total_nodes <= budget
+            assert all(c >= 1 for c in assignment.counts())
+
+    def test_beats_or_matches_paper_case2(self, model):
+        optimized = optimize_throughput(model, 118)
+        assert model.throughput(optimized) >= model.throughput(CASE2)
+
+    def test_monotone_in_budget(self, model):
+        t_small = model.throughput(optimize_throughput(model, 59))
+        t_big = model.throughput(optimize_throughput(model, 118))
+        assert t_big > t_small
+
+    def test_matches_exhaustive_on_tiny_budget(self, tiny_model):
+        budget = 11
+        greedy = optimize_throughput(tiny_model, budget)
+        best = exhaustive_search(tiny_model, budget, objective="throughput",
+                                 max_per_task=4)
+        assert tiny_model.throughput(greedy) == pytest.approx(
+            tiny_model.throughput(best), rel=1e-9
+        )
+
+    def test_below_minimum_budget_rejected(self, model):
+        with pytest.raises(AssignmentError):
+            optimize_throughput(model, 6)
+
+    def test_respects_work_unit_limits(self, tiny_model):
+        # tiny: doppler limit 48, cfar limit 16, etc.  A huge budget must
+        # not push any task past its limit.
+        assignment = optimize_throughput(tiny_model, 150)
+        params = tiny_model.params
+        assignment.validate_for(params)
+
+
+class TestLatencyOptimizer:
+    def test_beats_throughput_optimizer_on_latency(self, model):
+        budget = 118
+        lat_opt = optimize_latency(model, budget)
+        thr_opt = optimize_throughput(model, budget)
+        assert model.latency(lat_opt) <= model.latency(thr_opt)
+
+    def test_throughput_floor_honoured(self, model):
+        floor = 3.0
+        assignment = optimize_latency(model, 118, min_throughput=floor)
+        assert model.throughput(assignment) >= floor * 0.999
+
+    def test_without_floor_weight_tasks_stay_minimal(self, model):
+        """Weight tasks are off the latency critical path (the temporal
+        dependency trick), so a pure-latency allocation starves them."""
+        assignment = optimize_latency(model, 60)
+        assert assignment.easy_weight == 1
+        assert assignment.hard_weight == 1
+
+    def test_budget_respected(self, model):
+        assignment = optimize_latency(model, 50, min_throughput=1.0)
+        assert assignment.total_nodes <= 50
+
+
+class TestExhaustive:
+    def test_latency_objective(self, tiny_model):
+        best = exhaustive_search(tiny_model, 10, objective="latency", max_per_task=3)
+        assert best.total_nodes <= 10
+
+    def test_unknown_objective_rejected(self, tiny_model):
+        with pytest.raises(AssignmentError):
+            exhaustive_search(tiny_model, 10, objective="magic")
+
+    def test_infeasible_budget_rejected(self, tiny_model):
+        with pytest.raises(AssignmentError):
+            exhaustive_search(tiny_model, 3)

@@ -1,0 +1,67 @@
+"""Dynamic processor reallocation plans."""
+
+import pytest
+
+from repro import CASE2, CASE3, STAPParams
+from repro.core.assignment import TASK_NAMES
+from repro.errors import AssignmentError
+from repro.scheduling import AnalyticPipelineModel, plan_reallocation
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticPipelineModel(STAPParams.paper())
+
+
+class TestPlanning:
+    def test_already_satisfied_needs_no_moves(self, model):
+        base = model.throughput(CASE2)
+        plan = plan_reallocation(model, CASE2, target_throughput=base * 0.9)
+        assert plan.num_moves == 0
+        assert plan.result.counts() == CASE2.counts()
+
+    def test_throughput_increase_reachable_by_moves(self, model):
+        base = model.throughput(CASE2)
+        plan = plan_reallocation(model, CASE2, target_throughput=base * 1.2)
+        assert plan.num_moves > 0
+        assert model.throughput(plan.result) >= base * 1.2
+        # Node total is conserved (re-allocation, not growth).
+        assert plan.result.total_nodes == CASE2.total_nodes
+
+    def test_latency_target(self, model):
+        base = model.latency(CASE3)
+        plan = plan_reallocation(model, CASE3, target_latency=base * 0.85)
+        assert model.latency(plan.result) <= base * 0.85
+        assert plan.result.total_nodes == CASE3.total_nodes
+
+    def test_moves_are_legal_steps(self, model):
+        base = model.throughput(CASE2)
+        plan = plan_reallocation(model, CASE2, target_throughput=base * 1.2)
+        counts = {t: CASE2.count_of(t) for t in TASK_NAMES}
+        for move in plan.moves:
+            counts[move.from_task] -= 1
+            counts[move.to_task] += 1
+            assert counts[move.from_task] >= 1
+        assert tuple(counts[t] for t in TASK_NAMES) == plan.result.counts()
+
+    def test_infeasible_target_rejected(self, model):
+        with pytest.raises(AssignmentError):
+            plan_reallocation(model, CASE3, target_throughput=1000.0)
+
+    def test_requires_a_target(self, model):
+        with pytest.raises(AssignmentError):
+            plan_reallocation(model, CASE2)
+
+    def test_summary_renders(self, model):
+        base = model.throughput(CASE2)
+        plan = plan_reallocation(model, CASE2, target_throughput=base * 1.05)
+        assert "throughput" in plan.summary()
+
+
+class TestCombinedTargets:
+    def test_both_targets_honoured(self, model):
+        plan = plan_reallocation(
+            model, CASE2, target_throughput=4.0, target_latency=0.7
+        )
+        assert model.throughput(plan.result) >= 4.0
+        assert model.latency(plan.result) <= 0.7

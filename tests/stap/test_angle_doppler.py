@@ -1,0 +1,95 @@
+"""Angle-Doppler analysis: the synthetic clutter physics made visible."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radar import RadarScenario, STAPParams, TargetTruth, generate_cpi
+from repro.stap.angle_doppler import (
+    adapted_pattern,
+    angle_doppler_spectrum,
+    ridge_doppler_estimate,
+)
+from repro.stap.reference import default_steering
+
+
+@pytest.fixture(scope="module")
+def params():
+    return STAPParams.small()
+
+
+class TestSpectrum:
+    def test_shape_and_axes(self, params):
+        cube = generate_cpi(params, RadarScenario.benign(0), 0)
+        spectrum, angles, dopplers = angle_doppler_spectrum(cube)
+        assert spectrum.shape == (angles.size, params.num_doppler)
+        assert dopplers[0] == pytest.approx(-0.5)
+        assert np.all(np.diff(dopplers) > 0)
+
+    def test_target_appears_at_its_angle_and_doppler(self, params):
+        target = TargetTruth(
+            range_cell=40, normalized_doppler=0.25, angle_deg=20.0, snr_db=40.0
+        )
+        scenario = RadarScenario(
+            clutter_to_noise_db=-300.0, num_clutter_patches=1,
+            targets=(target,), seed=0,
+        )
+        cube = generate_cpi(params, scenario, 0)
+        spectrum, angles, dopplers = angle_doppler_spectrum(cube)
+        a_idx, d_idx = np.unravel_index(np.argmax(spectrum), spectrum.shape)
+        assert angles[a_idx] == pytest.approx(20.0, abs=3.0)
+        assert dopplers[d_idx] == pytest.approx(0.25, abs=0.05)
+
+    def test_empty_angles_rejected(self, params):
+        cube = generate_cpi(params, RadarScenario.benign(0), 0)
+        with pytest.raises(ConfigurationError):
+            angle_doppler_spectrum(cube, angles_deg=[])
+
+
+class TestRidge:
+    def test_ridge_slope_matches_velocity_ratio(self, params):
+        """Clutter Doppler = 0.5 * beta * sin(theta): the defining line of
+        airborne clutter, and what makes 'hard' bins hard."""
+        beta = 1.0
+        scenario = RadarScenario(
+            clutter_to_noise_db=45.0, clutter_velocity_ratio=beta, seed=2
+        )
+        cube = generate_cpi(params, scenario, 0)
+        angles = np.linspace(-50.0, 50.0, 21)
+        angles_out, peaks = ridge_doppler_estimate(cube, angles_deg=angles)
+        expected = 0.5 * beta * np.sin(np.deg2rad(angles_out))
+        # Allow one Doppler bin of quantization error.
+        bin_width = 1.0 / params.num_doppler
+        assert np.median(np.abs(peaks - expected)) < 1.5 * bin_width
+
+    def test_slower_platform_flattens_ridge(self, params):
+        fast = RadarScenario(clutter_to_noise_db=45.0, clutter_velocity_ratio=1.0, seed=2)
+        slow = RadarScenario(clutter_to_noise_db=45.0, clutter_velocity_ratio=0.3, seed=2)
+        angles = np.linspace(-50.0, 50.0, 11)
+        _, peaks_fast = ridge_doppler_estimate(
+            generate_cpi(params, fast, 0), angles_deg=angles
+        )
+        _, peaks_slow = ridge_doppler_estimate(
+            generate_cpi(params, slow, 0), angles_deg=angles
+        )
+        assert np.abs(peaks_slow).max() < np.abs(peaks_fast).max()
+
+
+class TestAdaptedPattern:
+    def test_quiescent_pattern_peaks_at_steer_angle(self, params):
+        from repro.radar.geometry import spatial_steering
+
+        w = spatial_steering(params.num_channels, 15.0)
+        pattern, angles = adapted_pattern(w, params)
+        assert angles[np.argmax(pattern)] == pytest.approx(15.0, abs=2.0)
+        assert pattern.max() == pytest.approx(1.0)
+
+    def test_staggered_weight_accepted(self, params):
+        steering = default_steering(params)
+        w2 = np.concatenate([steering[:, 0], steering[:, 0]])
+        pattern, _ = adapted_pattern(w2, params)
+        assert pattern.shape == (181,)
+
+    def test_bad_length_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            adapted_pattern(np.ones(5), params)

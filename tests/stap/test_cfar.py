@@ -1,0 +1,147 @@
+"""CFAR: threshold calibration, edge handling, detection logic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radar import STAPParams
+from repro.stap.cfar import (
+    Detection,
+    cfar_detect,
+    cfar_threshold_factor,
+    reference_cell_counts,
+)
+
+
+@pytest.fixture
+def params():
+    return STAPParams.tiny()
+
+
+class TestThresholdFactor:
+    def test_scalar_formula(self):
+        # alpha = n (pfa^{-1/n} - 1), the classic CA-CFAR result.
+        alpha = cfar_threshold_factor(16, 1e-6)
+        assert alpha == pytest.approx(16 * (1e-6 ** (-1 / 16) - 1))
+
+    def test_monotone_in_pfa(self):
+        assert cfar_threshold_factor(16, 1e-8) > cfar_threshold_factor(16, 1e-4)
+
+    def test_vectorized(self):
+        counts = np.array([8, 16, 32])
+        alphas = cfar_threshold_factor(counts, 1e-6)
+        assert alphas.shape == (3,)
+        # More averaging -> smaller loss -> smaller factor.
+        assert alphas[0] > alphas[1] > alphas[2]
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cfar_threshold_factor(0, 1e-6)
+        with pytest.raises(ConfigurationError):
+            cfar_threshold_factor(16, 1.5)
+
+    def test_pfa_calibration_monte_carlo(self):
+        """Empirical false-alarm rate of the complete detector on pure
+        exponential noise must be close to the design Pfa."""
+        p = STAPParams.tiny().with_overrides(cfar_pfa=1e-2)
+        rng = np.random.default_rng(123)
+        trials = 40
+        total_cells = 0
+        total_hits = 0
+        for _ in range(trials):
+            power = rng.exponential(
+                1.0, size=(p.num_doppler, p.num_beams, p.num_ranges)
+            ).astype(p.real_dtype)
+            hits = cfar_detect(power, p)
+            total_hits += len(hits)
+            total_cells += power.size
+        empirical = total_hits / total_cells
+        assert empirical == pytest.approx(1e-2, rel=0.4)
+
+
+class TestReferenceCells:
+    def test_interior_full_window(self, params):
+        counts = reference_cell_counts(params)
+        mid = params.num_ranges // 2
+        assert counts[mid] == 2 * params.cfar_window
+
+    def test_edges_truncated(self, params):
+        counts = reference_cell_counts(params)
+        assert counts[0] == params.cfar_window  # only trailing window
+        assert counts[-1] == params.cfar_window  # only leading window
+
+    def test_never_zero(self, params):
+        assert reference_cell_counts(params).min() >= 1
+
+
+class TestDetection:
+    def test_single_spike_detected_at_location(self, params):
+        power = np.ones(
+            (params.num_doppler, params.num_beams, params.num_ranges),
+            dtype=params.real_dtype,
+        )
+        power[3, 1, 25] = 1e6
+        hits = cfar_detect(power, params)
+        assert any(
+            d.doppler_bin == 3 and d.beam == 1 and d.range_cell == 25 for d in hits
+        )
+
+    def test_guard_cells_protect_spread_targets(self, params):
+        """Energy in the guard region must not inflate the noise estimate."""
+        power = np.ones(
+            (params.num_doppler, params.num_beams, params.num_ranges),
+            dtype=params.real_dtype,
+        )
+        k0 = params.num_ranges // 2
+        power[0, 0, k0] = 1e5
+        power[0, 0, k0 + 1] = 1e5  # within guard of k0
+        hits = cfar_detect(power, params)
+        cells = {d.range_cell for d in hits if d.doppler_bin == 0}
+        assert {k0, k0 + 1} <= cells
+
+    def test_constant_field_no_detections(self, params):
+        power = np.full(
+            (params.num_doppler, params.num_beams, params.num_ranges),
+            5.0,
+            dtype=params.real_dtype,
+        )
+        assert cfar_detect(power, params) == []
+
+    def test_bin_ids_relabel_blocks(self, params):
+        power = np.ones((2, params.num_beams, params.num_ranges), dtype=params.real_dtype)
+        power[1, 0, 10] = 1e6
+        hits = cfar_detect(power, params, bin_ids=np.array([7, 9]))
+        assert hits[0].doppler_bin == 9
+
+    def test_block_union_equals_full_run(self, params):
+        rng = np.random.default_rng(5)
+        power = rng.exponential(
+            1.0, size=(params.num_doppler, params.num_beams, params.num_ranges)
+        ).astype(params.real_dtype)
+        power[2, 0, 30] = 1e6
+        full = cfar_detect(power, params)
+        split = params.num_doppler // 2
+        blocks = cfar_detect(
+            power[:split], params, bin_ids=np.arange(split)
+        ) + cfar_detect(
+            power[split:], params, bin_ids=np.arange(split, params.num_doppler)
+        )
+        assert sorted(blocks) == sorted(full)
+
+    def test_margin_db(self):
+        d = Detection(0, 0, 0, power=100.0, threshold=10.0)
+        assert d.margin_db == pytest.approx(10.0)
+
+    def test_validation(self, params):
+        with pytest.raises(ConfigurationError):
+            cfar_detect(np.zeros((2, 2, 2)), params)
+        good = np.zeros(
+            (params.num_doppler, params.num_beams, params.num_ranges),
+            dtype=params.real_dtype,
+        )
+        with pytest.raises(ConfigurationError):
+            cfar_detect(good.astype(complex), params)
+        with pytest.raises(ConfigurationError):
+            cfar_detect(good, params, bin_ids=np.arange(3))
+        with pytest.raises(ConfigurationError):
+            cfar_detect(good, params, pfa=2.0)

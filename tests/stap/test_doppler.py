@@ -1,0 +1,114 @@
+"""Doppler filter processing: tone localization, stagger phase, blocks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radar import STAPParams, RadarScenario, generate_cpi
+from repro.radar.geometry import temporal_steering
+from repro.stap.doppler import (
+    doppler_filter,
+    doppler_filter_block,
+    nearest_bin,
+    stagger_phase,
+)
+
+
+@pytest.fixture
+def params():
+    return STAPParams.tiny()
+
+
+def tone_cube(params, normalized_doppler, channel_phase=0.0):
+    """A pure Doppler tone on every range cell and channel."""
+    K, J, N = params.num_ranges, params.num_channels, params.num_pulses
+    tone = temporal_steering(N, normalized_doppler) * np.sqrt(N)
+    cube = np.broadcast_to(tone, (K, J, N)).astype(complex)
+    return cube * np.exp(1j * channel_phase)
+
+
+class TestShapes:
+    def test_output_shape(self, params):
+        cube = generate_cpi(params, RadarScenario.benign(0), 0)
+        out = doppler_filter(cube)
+        assert out.shape == (
+            params.num_doppler,
+            params.num_staggered_channels,
+            params.num_ranges,
+        )
+
+    def test_bare_array_needs_params(self, params):
+        data = np.zeros(
+            (params.num_ranges, params.num_channels, params.num_pulses), dtype=complex
+        )
+        with pytest.raises(ConfigurationError):
+            doppler_filter(data)
+        assert doppler_filter(data, params).shape[0] == params.num_doppler
+
+    def test_wrong_shape_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            doppler_filter(np.zeros((2, 2, 2), dtype=complex), params)
+
+    def test_block_processes_partial_ranges(self, params):
+        cube = generate_cpi(params, RadarScenario.benign(0), 0).data
+        full = doppler_filter(cube, params)
+        block = doppler_filter_block(cube[5:9], params)
+        assert block.shape[2] == 4
+        assert np.allclose(block, full[:, :, 5:9])
+
+
+class TestToneLocalization:
+    def test_tone_concentrates_at_its_bin(self, params):
+        f = 5 / params.num_pulses  # exact bin centre
+        out = doppler_filter(tone_cube(params, f), params)
+        spectrum = np.abs(out[:, 0, 0])
+        assert np.argmax(spectrum) == 5
+
+    def test_nearest_bin_wraps_negative(self, params):
+        n = params.num_pulses
+        assert nearest_bin(params, -1.0 / n) == n - 1
+        assert nearest_bin(params, 0.0) == 0
+
+    def test_windowing_contains_leakage(self, params):
+        f = 5 / params.num_pulses
+        out = doppler_filter(tone_cube(params, f), params)
+        spectrum = np.abs(out[:, 0, 0])
+        far_bins = [b for b in range(params.num_pulses) if abs(b - 5) > 3]
+        assert spectrum[5] > 20 * spectrum[far_bins].max()
+
+
+class TestStaggerPhase:
+    def test_late_window_rotated_by_stagger_phase(self, params):
+        # A tone at bin n appears in the late window rotated by
+        # exp(+2 pi i n s / N) relative to the early window.
+        for bin_n in (2, 5, params.num_pulses - 3):
+            f = bin_n / params.num_pulses
+            out = doppler_filter(tone_cube(params, f), params)
+            J = params.num_channels
+            early = out[bin_n, 0, 0]
+            late = out[bin_n, J, 0]
+            expected = stagger_phase(params, [bin_n])[0]
+            assert np.abs(early) > 0
+            assert late / early == pytest.approx(expected, rel=1e-9)
+
+    def test_phase_is_unit_modulus(self, params):
+        phases = stagger_phase(params, params.hard_bins)
+        assert np.allclose(np.abs(phases), 1.0)
+
+    def test_zero_bin_phase_is_one(self, params):
+        assert stagger_phase(params, [0])[0] == pytest.approx(1.0)
+
+
+class TestEnergyConservation:
+    def test_parseval_no_window(self, params):
+        # With a rectangular window and no zero-padding loss, the FFT
+        # preserves energy per (range, channel) line.
+        p = params.with_overrides(window="rectangular")
+        rng = np.random.default_rng(0)
+        K, J, N = p.num_ranges, p.num_channels, p.num_pulses
+        cube = rng.standard_normal((K, J, N)) + 1j * rng.standard_normal((K, J, N))
+        out = doppler_filter(cube, p)
+        win_len = N - p.stagger
+        in_energy = np.sum(np.abs(cube[0, 0, :win_len]) ** 2)
+        out_energy = np.sum(np.abs(out[:, 0, 0]) ** 2) / N
+        assert out_energy == pytest.approx(in_energy, rel=1e-9)

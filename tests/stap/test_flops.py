@@ -1,0 +1,82 @@
+"""Flop model vs the paper's Table 1."""
+
+import pytest
+
+from repro.radar import STAPParams
+from repro.stap import flops
+
+
+@pytest.fixture
+def params():
+    return STAPParams.paper()
+
+
+class TestExactMatches:
+    """Five of the seven tasks match Table 1 exactly."""
+
+    def test_doppler(self, params):
+        assert flops.doppler_flops(params) == flops.PAPER_TABLE1["doppler"]
+
+    def test_easy_beamform(self, params):
+        assert flops.easy_beamform_flops(params) == flops.PAPER_TABLE1["easy_beamform"]
+
+    def test_hard_beamform(self, params):
+        assert flops.hard_beamform_flops(params) == flops.PAPER_TABLE1["hard_beamform"]
+
+    def test_pulse_compression(self, params):
+        assert (
+            flops.pulse_compression_flops(params)
+            == flops.PAPER_TABLE1["pulse_compression"]
+        )
+
+    def test_cfar(self, params):
+        assert flops.cfar_flops(params) == flops.PAPER_TABLE1["cfar"]
+
+
+class TestCloseMatches:
+    """The weight tasks involve unstated solve accounting; within 0.05 %."""
+
+    @pytest.mark.parametrize("task", ["easy_weight", "hard_weight"])
+    def test_within_tolerance(self, params, task):
+        model = flops.TASK_FLOPS[task](params)
+        paper = flops.PAPER_TABLE1[task]
+        assert abs(model - paper) / paper < 5e-4
+
+    def test_total_within_tolerance(self, params):
+        total = flops.all_task_flops(params)["total"]
+        assert abs(total - flops.PAPER_TABLE1["total"]) / flops.PAPER_TABLE1[
+            "total"
+        ] < 5e-4
+
+
+class TestStructure:
+    def test_hard_weight_dominates(self, params):
+        # "The task of computing hard weights is the most computationally
+        # demanding task.  The Doppler filter processing task is the second"
+        counts = flops.all_task_flops(params)
+        ordered = sorted(
+            (name for name in flops.TASK_FLOPS), key=lambda n: -counts[n]
+        )
+        assert ordered[0] == "hard_weight"
+        assert ordered[1] == "doppler"
+
+    def test_cfar_is_cheapest(self, params):
+        counts = flops.all_task_flops(params)
+        assert min(flops.TASK_FLOPS, key=lambda n: counts[n]) == "cfar"
+
+    def test_scaling_with_ranges(self):
+        small = STAPParams.tiny()
+        bigger = small.with_overrides(
+            num_ranges=small.num_ranges * 2,
+            range_segment_boundaries=(0, 48, 96),
+        )
+        # Beamforming is linear in K.
+        assert flops.easy_beamform_flops(bigger) == 2 * flops.easy_beamform_flops(small)
+
+    def test_table_renders(self, params):
+        text = flops.flops_table(params)
+        assert "doppler" in text and "total" in text
+
+    def test_all_positive_at_tiny_scale(self):
+        counts = flops.all_task_flops(STAPParams.tiny())
+        assert all(v > 0 for v in counts.values())

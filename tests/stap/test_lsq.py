@@ -1,0 +1,163 @@
+"""QR kernels: factorization identities, block updates, constrained solves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stap.lsq import (
+    qr_factor,
+    qr_append_rows,
+    solve_constrained,
+    quiescent_weights,
+)
+
+
+def random_complex(rng, *shape):
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestQrFactor:
+    def test_information_identity_tall(self, rng):
+        a = random_complex(rng, 20, 6)
+        r = qr_factor(a)
+        assert r.shape == (6, 6)
+        assert np.allclose(r.conj().T @ r, a.conj().T @ a)
+
+    def test_upper_triangular(self, rng):
+        r = qr_factor(random_complex(rng, 15, 5))
+        assert np.allclose(np.tril(r, -1), 0)
+
+    def test_wide_matrix_zero_padded(self, rng):
+        a = random_complex(rng, 3, 8)
+        r = qr_factor(a)
+        assert r.shape == (8, 8)
+        assert np.allclose(r.conj().T @ r, a.conj().T @ a)
+        assert np.allclose(r[3:], 0)
+
+    def test_empty_matrix(self):
+        r = qr_factor(np.zeros((0, 4)))
+        assert r.shape == (4, 4)
+        assert np.allclose(r, 0)
+
+    def test_vector_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            qr_factor(np.zeros(5))
+
+
+class TestQrAppendRows:
+    def test_block_update_equals_batch_qr(self, rng):
+        """The paper's 'block update form of the QR decomposition': the R of
+        incrementally-appended blocks equals the R of the concatenation."""
+        blocks = [random_complex(rng, 7, 4) for _ in range(3)]
+        r_incremental = qr_factor(blocks[0])
+        for block in blocks[1:]:
+            r_incremental = qr_append_rows(r_incremental, block)
+        r_batch = qr_factor(np.vstack(blocks))
+        assert np.allclose(
+            r_incremental.conj().T @ r_incremental, r_batch.conj().T @ r_batch
+        )
+
+    def test_forgetting_downweights_old_data(self, rng):
+        old = random_complex(rng, 10, 4)
+        new = random_complex(rng, 10, 4)
+        forget = 0.6
+        r = qr_append_rows(qr_factor(old), new, forget=forget)
+        expected_info = forget**2 * (old.conj().T @ old) + new.conj().T @ new
+        assert np.allclose(r.conj().T @ r, expected_info)
+
+    def test_single_row_append(self, rng):
+        r0 = qr_factor(random_complex(rng, 6, 3))
+        row = random_complex(rng, 3)
+        r1 = qr_append_rows(r0, row)
+        assert np.allclose(
+            r1.conj().T @ r1, r0.conj().T @ r0 + np.outer(row.conj(), row)
+        )
+
+    def test_invalid_forget_rejected(self, rng):
+        r = qr_factor(random_complex(rng, 4, 2))
+        with pytest.raises(ConfigurationError):
+            qr_append_rows(r, random_complex(rng, 1, 2), forget=0.0)
+        with pytest.raises(ConfigurationError):
+            qr_append_rows(r, random_complex(rng, 1, 2), forget=1.5)
+
+    def test_shape_mismatch_rejected(self, rng):
+        r = qr_factor(random_complex(rng, 4, 3))
+        with pytest.raises(ConfigurationError):
+            qr_append_rows(r, random_complex(rng, 2, 4))
+        with pytest.raises(ConfigurationError):
+            qr_append_rows(random_complex(rng, 3, 4), random_complex(rng, 1, 4))
+
+
+class TestSolveConstrained:
+    def test_matches_direct_lstsq(self, rng):
+        """Solving via the R factor must equal solving the full stacked
+        least-squares problem directly."""
+        data = random_complex(rng, 30, 5)
+        constraint = 0.7 * np.eye(5, dtype=complex)
+        steering = random_complex(rng, 5, 3)
+        w = solve_constrained(qr_factor(data), constraint, steering, normalize=False)
+        stacked = np.vstack([data, constraint])
+        rhs = np.vstack([np.zeros((30, 3), dtype=complex), steering])
+        w_direct, *_ = np.linalg.lstsq(stacked, rhs, rcond=None)
+        # Residual-equivalence: both minimize the same objective.
+        assert np.allclose(w, w_direct, atol=1e-8)
+
+    def test_normalization_unit_columns(self, rng):
+        data = random_complex(rng, 20, 4)
+        w = solve_constrained(
+            qr_factor(data), np.eye(4), random_complex(rng, 4, 2), normalize=True
+        )
+        assert np.allclose(np.linalg.norm(w, axis=0), 1.0)
+
+    def test_strong_constraint_recovers_steering_direction(self, rng):
+        data = 1e-6 * random_complex(rng, 20, 4)
+        steering = random_complex(rng, 4, 1)
+        w = solve_constrained(qr_factor(data), 100.0 * np.eye(4), 100.0 * steering)
+        cosine = np.abs(np.vdot(w[:, 0], steering[:, 0])) / np.linalg.norm(steering)
+        assert cosine == pytest.approx(1.0, abs=1e-6)
+
+    def test_strong_data_nulls_interference(self, rng):
+        # One dominant interference direction; the adapted weight must
+        # (nearly) null it while keeping unit norm.
+        j = random_complex(rng, 6, 1)
+        data = (random_complex(rng, 200, 1) * 30.0) @ j.T  # rank-1 interference
+        data += 0.01 * random_complex(rng, 200, 6)
+        steering = random_complex(rng, 6, 1)
+        w = solve_constrained(qr_factor(np.conj(data)), 0.5 * np.eye(6), steering)
+        response = np.abs(np.vdot(w[:, 0], j[:, 0])) / np.linalg.norm(j)
+        assert response < 0.05
+
+    def test_rank_deficient_falls_back_gracefully(self, rng):
+        r = np.zeros((4, 4), dtype=complex)  # no data at all
+        w = solve_constrained(r, 0.5 * np.eye(4), random_complex(rng, 4, 2))
+        assert np.all(np.isfinite(w))
+        assert np.allclose(np.linalg.norm(w, axis=0), 1.0)
+
+    def test_shape_mismatches_rejected(self, rng):
+        r = qr_factor(random_complex(rng, 5, 3))
+        with pytest.raises(ConfigurationError):
+            solve_constrained(r, np.eye(4), random_complex(rng, 4, 2))
+        with pytest.raises(ConfigurationError):
+            solve_constrained(r, np.eye(3), random_complex(rng, 2, 2))
+
+
+class TestQuiescent:
+    def test_single_copy_unit_norm(self, rng):
+        steering = random_complex(rng, 8, 3)
+        w = quiescent_weights(steering)
+        assert w.shape == (8, 3)
+        assert np.allclose(np.linalg.norm(w, axis=0), 1.0)
+
+    def test_two_copies_with_phase(self, rng):
+        steering = random_complex(rng, 4, 2)
+        phase = np.exp(1j * 0.7)
+        w = quiescent_weights(steering, copies=2, phases=[1.0, phase])
+        assert w.shape == (8, 2)
+        # Lower block is the phased copy of the upper block.
+        ratio = w[4:] / w[:4]
+        assert np.allclose(ratio, phase)

@@ -1,0 +1,92 @@
+"""Pulse compression: peak location, gain, power domain."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radar import STAPParams, lfm_chirp
+from repro.stap.pulse_compression import (
+    pulse_compress,
+    pulse_compress_block,
+    replica_response,
+)
+
+
+@pytest.fixture
+def params():
+    return STAPParams.tiny()
+
+
+def cube_with_pulse_at(params, k0, bin_n=0, beam=0, amplitude=1.0):
+    cube = np.zeros(
+        (params.num_doppler, params.num_beams, params.num_ranges), dtype=complex
+    )
+    pulse = lfm_chirp(params.waveform_length)
+    extent = min(params.waveform_length, params.num_ranges - k0)
+    cube[bin_n, beam, k0 : k0 + extent] = amplitude * pulse[:extent]
+    return cube
+
+
+class TestPeak:
+    def test_peak_at_true_range(self, params):
+        power = pulse_compress(cube_with_pulse_at(params, 17), params)
+        assert np.argmax(power[0, 0]) == 17
+
+    def test_peak_power_equals_energy_squared(self, params):
+        # Unit-energy pulse, unit-energy matched filter: peak amplitude 1.
+        power = pulse_compress(cube_with_pulse_at(params, 10, amplitude=3.0), params)
+        assert power[0, 0, 10] == pytest.approx(9.0, rel=1e-5)
+
+    def test_other_rows_untouched(self, params):
+        power = pulse_compress(cube_with_pulse_at(params, 10, bin_n=2, beam=1), params)
+        assert np.all(power[0, 0] == 0)
+        assert power[2, 1].max() > 0
+
+    def test_output_real_dtype(self, params):
+        power = pulse_compress(cube_with_pulse_at(params, 5), params)
+        assert power.dtype == np.dtype(params.real_dtype)
+        assert np.all(power >= 0)
+
+
+class TestBlocks:
+    def test_block_equals_full_rows(self, params):
+        cube = cube_with_pulse_at(params, 12, bin_n=3)
+        full = pulse_compress(cube, params)
+        block = pulse_compress_block(cube[2:5], params)
+        assert np.allclose(block, full[2:5])
+
+    def test_precomputed_replica_matches(self, params):
+        cube = cube_with_pulse_at(params, 12)
+        resp = replica_response(params)
+        assert np.allclose(
+            pulse_compress(cube, params, resp), pulse_compress(cube, params)
+        )
+
+    def test_shape_validation(self, params):
+        with pytest.raises(ConfigurationError):
+            pulse_compress(np.zeros((2, 2, 2), dtype=complex), params)
+        with pytest.raises(ConfigurationError):
+            pulse_compress_block(np.zeros((2, 2, 2), dtype=complex), params)
+
+    def test_replica_length_validation(self, params):
+        cube = cube_with_pulse_at(params, 5)
+        with pytest.raises(ConfigurationError):
+            pulse_compress(cube, params, np.zeros(3))
+
+
+class TestGain:
+    def test_compression_gain_over_noise(self, params):
+        """Matched filtering improves pulse-to-noise contrast by ~L."""
+        rng = np.random.default_rng(0)
+        K = params.num_ranges
+        L = params.waveform_length
+        sigma = 0.05
+        cube = cube_with_pulse_at(params, 20)
+        noise = sigma * (
+            rng.standard_normal(cube.shape) + 1j * rng.standard_normal(cube.shape)
+        )
+        power = pulse_compress(cube + noise, params)
+        peak = power[0, 0, 20]
+        # Input per-sample SNR = (1/L) / sigma^2; output peak SNR ~ 1 / sigma^2.
+        noise_floor = np.median(power[1, 0])
+        assert peak / noise_floor > 0.2 / sigma**2

@@ -1,0 +1,104 @@
+"""Range (sensitivity-time) correction in Doppler filter processing."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Assignment,
+    CPIStream,
+    RadarScenario,
+    STAPParams,
+    STAPPipeline,
+    SequentialSTAP,
+    TargetTruth,
+)
+from repro.errors import ConfigurationError
+from repro.stap.doppler import doppler_filter_block, range_correction_factors
+
+
+@pytest.fixture
+def params():
+    return STAPParams.tiny().with_overrides(range_correction=True)
+
+
+class TestFactors:
+    def test_monotone_increasing_with_range(self, params):
+        gains = range_correction_factors(params, 0, params.num_ranges)
+        assert np.all(np.diff(gains) > 0)
+
+    def test_far_cell_unit_gain(self, params):
+        gains = range_correction_factors(params, 0, params.num_ranges)
+        assert gains[-1] == pytest.approx(1.0)
+
+    def test_r_squared_shape(self, params):
+        gains = range_correction_factors(params, 0, params.num_ranges)
+        # Gain at half range is a quarter of the far gain.
+        mid = params.num_ranges // 2 - 1
+        assert gains[mid] == pytest.approx(0.25, rel=0.05)
+
+    def test_slice_offsets_respected(self, params):
+        full = range_correction_factors(params, 0, params.num_ranges)
+        part = range_correction_factors(params, 10, 5)
+        assert np.allclose(part, full[10:15])
+
+    def test_out_of_range_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            range_correction_factors(params, -1, 5)
+        with pytest.raises(ConfigurationError):
+            range_correction_factors(params, 0, params.num_ranges + 1)
+
+
+class TestFiltering:
+    def test_correction_scales_output(self, params):
+        rng = np.random.default_rng(0)
+        shape = (params.num_ranges, params.num_channels, params.num_pulses)
+        cube = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        corrected = doppler_filter_block(cube, params)
+        plain = doppler_filter_block(
+            cube, params.with_overrides(range_correction=False)
+        )
+        gains = range_correction_factors(params, 0, params.num_ranges)
+        assert np.allclose(corrected, plain * gains[None, None, :])
+
+    def test_block_offsets_match_full(self, params):
+        """Blocks with absolute k_start equal slices of the full result —
+        the property the parallel Doppler task needs."""
+        rng = np.random.default_rng(1)
+        shape = (params.num_ranges, params.num_channels, params.num_pulses)
+        cube = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        full = doppler_filter_block(cube, params)
+        split = 17
+        left = doppler_filter_block(cube[:split], params, k_start=0)
+        right = doppler_filter_block(cube[split:], params, k_start=split)
+        assert np.allclose(np.concatenate([left, right], axis=2), full)
+
+    def test_input_not_mutated(self, params):
+        cube = np.ones(
+            (params.num_ranges, params.num_channels, params.num_pulses),
+            dtype=complex,
+        )
+        before = cube.copy()
+        doppler_filter_block(cube, params)
+        assert np.array_equal(cube, before)
+
+
+class TestPipelineEquivalence:
+    def test_functional_pipeline_matches_reference_with_correction(self, params):
+        """The k_start plumbing through the parallel Doppler task."""
+        scenario = RadarScenario(
+            clutter_to_noise_db=40.0,
+            targets=(TargetTruth(40, 0.25, 0.0, 8.0),),
+            seed=11,
+        )
+        reference = SequentialSTAP(params).process_stream(
+            CPIStream(params, scenario).take(4)
+        )
+        result = STAPPipeline(
+            params,
+            Assignment(3, 2, 2, 2, 2, 2, 2, name="rc"),
+            mode="functional",
+            stream=CPIStream(params, scenario),
+            num_cpis=4,
+        ).run()
+        for a, b in zip(reference, result.reports):
+            assert a.same_detections(b)

@@ -1,0 +1,69 @@
+"""CLI smoke tests: every subcommand runs and prints the expected shape."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["case", "--name", "case9"])
+
+
+class TestCommands:
+    def test_flops(self, capsys):
+        assert main(["flops"]) == 0
+        out = capsys.readouterr().out
+        assert "doppler" in out
+        assert "403,5" in out  # total flops
+
+    def test_case_quick(self, capsys):
+        assert main(["case", "--name", "case3", "--cpis", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "case3" in out
+
+    def test_roundrobin(self, capsys):
+        assert main(["roundrobin", "--nodes", "5", "--cpis", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "round-robin on 5 nodes" in out
+
+    def test_optimize_throughput(self, capsys):
+        assert main(["optimize", "--budget", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted throughput" in out
+
+    def test_optimize_latency_with_floor(self, capsys):
+        assert main([
+            "optimize", "--budget", "59", "--objective", "latency",
+            "--min-throughput", "1.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "predicted latency" in out
+
+    def test_detect(self, capsys):
+        assert main(["detect", "--cpis", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "CPI 0:" in out and "CPI 1:" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "--id", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "worst deviation" in out
+
+    def test_table7_quick(self, capsys):
+        assert main(["table", "--id", "7", "--case", "case3", "--cpis", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 7" in out and "throughput" in out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "--name", "case3", "--cpis", "6",
+                     "--width", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out
+        assert "doppler" in out

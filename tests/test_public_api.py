@@ -1,0 +1,54 @@
+"""The public API surface: everything advertised is importable and sane."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.des",
+            "repro.machine",
+            "repro.mpi",
+            "repro.radar",
+            "repro.stap",
+            "repro.core",
+            "repro.scheduling",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+
+class TestTagSpaces:
+    def test_pipeline_tags_below_collective_tags(self):
+        """Pipeline edge tags must never collide with the tag range the
+        collectives reserve, for any plausible run length."""
+        from repro.core.redistribution import TAG_STRIDE, edge_tag
+        from repro.mpi.collectives import COLLECTIVE_TAG_BASE
+
+        max_cpis = 10_000
+        assert edge_tag("pc_to_cfar", max_cpis) < COLLECTIVE_TAG_BASE
+        assert TAG_STRIDE * max_cpis < COLLECTIVE_TAG_BASE
+
+    def test_edge_tags_unique_per_cpi(self):
+        from repro.core.redistribution import TAG_CODES, edge_tag
+
+        tags = {edge_tag(name, cpi) for name in TAG_CODES for cpi in range(50)}
+        assert len(tags) == len(TAG_CODES) * 50

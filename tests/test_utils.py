@@ -1,0 +1,87 @@
+"""Shared utilities: formatting, validation, deterministic RNG."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils import (
+    check_in_range,
+    check_nonnegative,
+    check_positive_int,
+    check_probability,
+    child_seed,
+    format_bytes,
+    format_flops,
+    format_seconds,
+    rng_from_seed,
+)
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.00 KiB"
+        assert format_bytes(16 * 2**20) == "16.00 MiB"
+        assert format_bytes(3 * 2**30) == "3.00 GiB"
+
+    def test_format_seconds_paper_style(self):
+        assert format_seconds(0.0874) == "0.0874 s"
+        assert format_seconds(2.35) == "2.350 s"
+        assert format_seconds(-0.5) == "-0.5000 s"
+        assert format_seconds(1234.5) == "1234.5 s"
+
+    def test_format_flops(self):
+        assert format_flops(500) == "500 flops"
+        assert format_flops(403_552_528) == "403.55 Mflops"
+        assert format_flops(2.5e9) == "2.50 Gflops"
+
+
+class TestValidation:
+    def test_positive_int(self):
+        assert check_positive_int(5, "x") == 5
+        for bad in (0, -1, 2.5, True, "3"):
+            with pytest.raises(ConfigurationError):
+                check_positive_int(bad, "x")
+
+    def test_nonnegative(self):
+        assert check_nonnegative(0, "x") == 0.0
+        assert check_nonnegative(1.5, "x") == 1.5
+        with pytest.raises(ConfigurationError):
+            check_nonnegative(-0.1, "x")
+        with pytest.raises(ConfigurationError):
+            check_nonnegative("nope", "x")
+
+    def test_in_range(self):
+        assert check_in_range(0.5, "x", 0, 1) == 0.5
+        with pytest.raises(ConfigurationError):
+            check_in_range(1.5, "x", 0, 1)
+
+    def test_probability(self):
+        assert check_probability(1e-6, "x") == 1e-6
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(ConfigurationError):
+                check_probability(bad, "x")
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = rng_from_seed(7).standard_normal(5)
+        b = rng_from_seed(7).standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_child_seed_deterministic(self):
+        assert child_seed(7, "cpi", 3) == child_seed(7, "cpi", 3)
+
+    def test_child_seed_distinguishes_labels(self):
+        seeds = {
+            child_seed(7, "cpi", 0),
+            child_seed(7, "cpi", 1),
+            child_seed(7, "jam", 0),
+            child_seed(8, "cpi", 0),
+        }
+        assert len(seeds) == 4
+
+    def test_child_seed_in_valid_range(self):
+        for i in range(20):
+            seed = child_seed(123, "label", i)
+            assert 0 <= seed < 2**63
