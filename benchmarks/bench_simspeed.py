@@ -1,0 +1,124 @@
+"""Simulation speed: the wall-clock cost of the simulator itself.
+
+Unlike the other benchmark modules this one reproduces no paper table —
+it tracks how fast the *simulator* chews through the paper-scale runs
+(Table 7's three assignments, 25 CPIs each), in wall-seconds per
+simulated CPI and events per second.  These are the figures the DES /
+SimMPI fast paths are graded on; regressions here make every other
+benchmark slower.
+
+Run under pytest (needs pytest-benchmark)::
+
+    pytest benchmarks/bench_simspeed.py
+
+or as a plain script, which writes ``BENCH_simspeed.json`` next to the
+repository root (the smoke configuration measures case 3 only and
+finishes well under a minute)::
+
+    python benchmarks/bench_simspeed.py          # smoke: case 3
+    python benchmarks/bench_simspeed.py --full   # all three cases
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import CASE1, CASE2, CASE3, STAPParams, STAPPipeline
+
+CASES = {"case1": CASE1, "case2": CASE2, "case3": CASE3}
+
+#: CPIs per measured run, matching the paper's experiments.
+NUM_CPIS = 25
+
+#: Where the script mode drops its results.
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_simspeed.json"
+
+
+def measure_case(case_key: str, num_cpis: int = NUM_CPIS) -> dict:
+    """One perf-instrumented modeled run; returns the JSON-ready record."""
+    assignment = CASES[case_key]
+    pipeline = STAPPipeline(
+        STAPParams.paper(), assignment, num_cpis=num_cpis, perf=True
+    )
+    result = pipeline.run()
+    perf = result.perf
+    record = perf.to_dict()
+    record.update(
+        case=case_key,
+        nodes=assignment.total_nodes,
+        makespan=result.makespan,
+        throughput_cpis_per_s=result.metrics.measured_throughput,
+    )
+    return record
+
+
+def _print_record(record: dict) -> None:
+    print(
+        f"{record['case']:>6} ({record['nodes']:3d} nodes): "
+        f"{record['wall_seconds']:6.2f} s wall, "
+        f"{record['wall_seconds_per_cpi'] * 1e3:7.1f} ms/CPI, "
+        f"{record['events_per_second']:9.0f} events/s, "
+        f"{record['probes_per_message']:5.2f} probes/op"
+    )
+
+
+# -- pytest entry points ---------------------------------------------------------
+@pytest.mark.parametrize("case_key", ["case3", "case2", "case1"])
+def test_simspeed_case(benchmark, case_key):
+    record = benchmark.pedantic(
+        measure_case, args=(case_key,), rounds=1, iterations=1
+    )
+    print()
+    _print_record(record)
+    benchmark.extra_info["wall_seconds_per_cpi"] = round(
+        record["wall_seconds_per_cpi"], 4
+    )
+    benchmark.extra_info["events_per_second"] = round(record["events_per_second"])
+    benchmark.extra_info["probes_per_message"] = round(
+        record["probes_per_message"], 3
+    )
+    # The indexed matcher's whole point: no linear scans left.
+    assert record["probes_per_message"] < 2.0
+
+
+@pytest.mark.bench_smoke
+def test_simspeed_smoke():
+    """Fast guard: case 3 at paper scale, well under a minute, JSON out."""
+    import time
+
+    t0 = time.perf_counter()
+    record = measure_case("case3")
+    elapsed = time.perf_counter() - t0
+    print()
+    _print_record(record)
+    RESULTS_PATH.write_text(json.dumps({"runs": [record]}, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    assert elapsed < 60.0, f"smoke benchmark took {elapsed:.1f}s (budget 60s)"
+    assert record["probes_per_message"] < 2.0
+
+
+# -- script entry point ----------------------------------------------------------
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    unknown = [a for a in argv if a != "--full"]
+    if unknown:
+        print(f"usage: {Path(__file__).name} [--full]", file=sys.stderr)
+        print(f"unknown arguments: {' '.join(unknown)}", file=sys.stderr)
+        return 2
+    keys = ["case3", "case2", "case1"] if "--full" in argv else ["case3"]
+    runs = []
+    for key in keys:
+        record = measure_case(key)
+        _print_record(record)
+        runs.append(record)
+    RESULTS_PATH.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

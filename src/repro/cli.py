@@ -56,9 +56,25 @@ def cmd_flops(_args) -> int:
 
 def cmd_case(args) -> int:
     assignment = NAMED_CASES[args.name]
-    pipeline = STAPPipeline(STAPParams.paper(), assignment, num_cpis=args.cpis)
+    pipeline = STAPPipeline(
+        STAPParams.paper(), assignment, num_cpis=args.cpis, perf=args.perf
+    )
     result = pipeline.run_measured() if args.measured else pipeline.run()
     print(result.metrics.table(f"=== {assignment.name} ==="))
+    if args.perf and result.perf is not None:
+        print()
+        print(result.perf.summary())
+    if args.profile:
+        from repro.perf import profile_run
+
+        _, stats = profile_run(
+            STAPPipeline(
+                STAPParams.paper(), assignment, num_cpis=args.cpis
+            ).run,
+            sort="tottime",
+        )
+        print()
+        print(stats)
     return 0
 
 
@@ -166,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_case.add_argument("--cpis", type=int, default=25)
     p_case.add_argument("--measured", action="store_true",
                         help="two-phase paced latency measurement")
+    p_case.add_argument("--perf", action="store_true",
+                        help="report the simulator's own wall-clock cost")
+    p_case.add_argument("--profile", action="store_true",
+                        help="re-run the case under cProfile and print "
+                             "the hottest functions")
     p_case.set_defaults(fn=cmd_case)
 
     p_rr = sub.add_parser("roundrobin", help="Section 2 baseline")

@@ -72,12 +72,20 @@ class Assignment:
         return sum(self.counts())
 
     def rank_offsets(self) -> dict[str, int]:
-        """First world rank of each task (tasks occupy contiguous ranks)."""
-        offsets = {}
-        cursor = 0
-        for task in TASK_NAMES:
-            offsets[task] = cursor
-            cursor += getattr(self, task)
+        """First world rank of each task (tasks occupy contiguous ranks).
+
+        The mapping is computed once per assignment and shared between
+        calls (rank translation sits on the simulation hot path) — treat
+        the returned dict as read-only.
+        """
+        offsets = self.__dict__.get("_rank_offsets")
+        if offsets is None:
+            offsets = {}
+            cursor = 0
+            for task in TASK_NAMES:
+                offsets[task] = cursor
+                cursor += getattr(self, task)
+            object.__setattr__(self, "_rank_offsets", offsets)
         return offsets
 
     def world_ranks(self, task: str) -> range:

@@ -13,7 +13,7 @@ pipeline instance:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
+from functools import cached_property, lru_cache
 
 from repro.core.assignment import Assignment, TASK_NAMES
 from repro.core.partition import BlockPartition, HardUnitPartition
@@ -137,7 +137,22 @@ class PipelineLayout:
     # -- plans -------------------------------------------------------------------
     @cached_property
     def plans(self) -> dict[str, EdgePlan]:
-        """Edge name -> redistribution plan."""
+        """Edge name -> redistribution plan.
+
+        Plans depend only on (params, per-task node counts, the
+        data-collection flag), so they are shared process-wide through a
+        keyed cache: sweeps that simulate many pipelines over the same
+        configuration (the optimizer searches, ``run_measured``'s paced
+        second phase, the benchmark tables) stop rebuilding the
+        O(P_src x P_dst) message lists from scratch.  Plans are immutable
+        by convention — tasks only read them.
+        """
+        return _shared_plans(
+            self.params, self.assignment.counts(), self.collect_training
+        )
+
+    def _build_plans(self) -> dict[str, EdgePlan]:
+        """Construct the nine edge plans (cache miss path)."""
         params = self.params
         item = params.complex_itemsize
         real_item = 4 if params.real_dtype == "float32" else 8
@@ -221,12 +236,16 @@ class PipelineLayout:
 
     def world_rank(self, task: str, local_rank: int) -> int:
         """World rank of ``local_rank`` within ``task``."""
-        count = self.assignment.count_of(task)
+        offsets = self.assignment.rank_offsets()
+        if task in offsets:
+            count = getattr(self.assignment, task)
+        else:
+            count = self.assignment.count_of(task)  # raises AssignmentError
         if not (0 <= local_rank < count):
             raise ConfigurationError(
                 f"{task} has {count} ranks; local rank {local_rank} out of range"
             )
-        return self.assignment.rank_offsets()[task] + local_rank
+        return offsets[task] + local_rank
 
     def task_and_local(self, world_rank: int) -> tuple[str, int]:
         """(task, local rank) of a world rank."""
@@ -303,3 +322,16 @@ class PipelineLayout:
             * self.params.num_pulses
             * self.params.complex_itemsize
         )
+
+
+@lru_cache(maxsize=128)
+def _shared_plans(
+    params: STAPParams, counts: tuple[int, ...], collect_training: bool
+) -> dict[str, EdgePlan]:
+    """Process-wide edge-plan cache, keyed by everything plans depend on."""
+    layout = PipelineLayout(
+        params,
+        Assignment(*counts, name="plan-cache"),
+        collect_training=collect_training,
+    )
+    return layout._build_plans()

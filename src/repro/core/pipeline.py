@@ -18,6 +18,7 @@ virtual-time behaviour is identical.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from statistics import mean
 from typing import Dict, Optional
@@ -35,6 +36,7 @@ from repro.des import Simulator
 from repro.errors import ConfigurationError
 from repro.machine import Machine, afrl_paragon
 from repro.mpi import World
+from repro.perf import PerfReport, snapshot_counters
 from repro.radar.datacube import CPIStream
 from repro.radar.parameters import STAPParams
 from repro.stap.detection import DetectionReport
@@ -59,6 +61,9 @@ class PipelineResult:
     #: Network counters: (messages, bytes).
     network_messages: int = 0
     network_bytes: int = 0
+    #: Simulator wall-clock report; only set when the pipeline was built
+    #: with ``perf=True``.
+    perf: Optional[PerfReport] = None
 
 
 class STAPPipeline:
@@ -78,6 +83,7 @@ class STAPPipeline:
         input_rate: Optional[float] = None,
         double_buffering: bool = True,
         collect_training: bool = True,
+        perf: bool = False,
     ):
         """``input_rate``: CPIs/second delivered by the radar front-end
         (None = data always available; the pipeline self-paces, measuring
@@ -88,7 +94,11 @@ class STAPPipeline:
 
         ``collect_training``: the paper's data-collection optimization on
         the Doppler -> weight edges; set False for the redundant-data
-        ablation."""
+        ablation.
+
+        ``perf``: attach a :class:`~repro.perf.PerfReport` (simulator
+        wall-clock cost) to the result.  Off by default; when off, the
+        run path does not touch the host clock at all."""
         if mode not in ("modeled", "functional"):
             raise ConfigurationError(f"mode must be 'modeled' or 'functional', got {mode!r}")
         if num_cpis < 1:
@@ -118,6 +128,7 @@ class STAPPipeline:
         self.input_rate = input_rate
         self.double_buffering = double_buffering
         self.collect_training = collect_training
+        self.perf = perf
         self.layout = PipelineLayout(
             params, assignment, collect_training=collect_training
         )
@@ -193,7 +204,22 @@ class STAPPipeline:
                 self._rank_program(task),
                 name=f"{task.name}[{task.local_rank}]",
             )
-        sim.run()
+        if self.perf:
+            before = snapshot_counters(sim, world)
+            wall_start = time.perf_counter()
+            sim.run()
+            wall = time.perf_counter() - wall_start
+            perf_report = PerfReport.from_snapshots(
+                before,
+                snapshot_counters(sim, world),
+                wall_seconds=wall,
+                sim_seconds=sim.now,
+                num_cpis=self.num_cpis,
+                label=f"{self.assignment.name or 'pipeline'} [{self.mode}]",
+            )
+        else:
+            sim.run()
+            perf_report = None
 
         metrics = self._aggregate(collector)
         reports = self._reports(collector)
@@ -206,6 +232,7 @@ class STAPPipeline:
             makespan=sim.now,
             network_messages=world.network.messages_sent,
             network_bytes=world.network.bytes_sent,
+            perf=perf_report,
         )
 
     @staticmethod
@@ -266,6 +293,7 @@ class STAPPipeline:
             input_rate=throughput,
             double_buffering=self.double_buffering,
             collect_training=self.collect_training,
+            perf=self.perf,
         )
         result = paced.run()
         # The paced run's throughput is capped by its own input; report the

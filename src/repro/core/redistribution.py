@@ -51,9 +51,34 @@ TAG_CODES = {
 }
 
 
+def validate_tag_space(stride: int = None, codes: dict = None) -> None:
+    """Raise unless every edge code fits under the CPI tag stride.
+
+    ``tag = cpi * TAG_STRIDE + code`` is only collision-free while
+    ``TAG_STRIDE > max(code)``; this guard makes adding a tenth edge code
+    without widening the stride an import-time error instead of a silent
+    cross-CPI tag collision.
+    """
+    stride = TAG_STRIDE if stride is None else stride
+    codes = TAG_CODES if codes is None else codes
+    worst = max(codes.values())
+    if stride <= worst:
+        raise ConfigurationError(
+            f"TAG_STRIDE ({stride}) must exceed the largest edge tag code "
+            f"({worst}); CPI tags would collide across edges"
+        )
+
+
+validate_tag_space()
+
+
 def edge_tag(edge_name: str, cpi_index: int) -> int:
     """The MPI tag for one edge at one pipeline iteration."""
     return cpi_index * TAG_STRIDE + TAG_CODES[edge_name]
+
+
+#: Shared empty result for ranks with no messages on an edge.
+_NO_MESSAGES: tuple = ()
 
 
 # ---------------------------------------------------------------------------
@@ -157,14 +182,26 @@ class EdgePlan:
         for message in self.messages:
             self._by_src.setdefault(message.src, []).append(message)
             self._by_dst.setdefault(message.dst, []).append(message)
+        # Sort once at construction: sends_of/recvs_of run per rank per CPI
+        # on the simulation hot path and used to re-sort on every call.
+        for sends in self._by_src.values():
+            sends.sort(key=lambda m: m.dst)
+        for recvs in self._by_dst.values():
+            recvs.sort(key=lambda m: m.src)
 
-    def sends_of(self, src: int) -> list:
-        """Messages rank ``src`` of the source task must send, dst order."""
-        return sorted(self._by_src.get(src, []), key=lambda m: m.dst)
+    def sends_of(self, src: int) -> Sequence:
+        """Messages rank ``src`` of the source task must send, dst order.
 
-    def recvs_of(self, dst: int) -> list:
-        """Messages rank ``dst`` of the destination task will receive."""
-        return sorted(self._by_dst.get(dst, []), key=lambda m: m.src)
+        Returns a shared, presorted sequence — callers must not mutate it.
+        """
+        return self._by_src.get(src, _NO_MESSAGES)
+
+    def recvs_of(self, dst: int) -> Sequence:
+        """Messages rank ``dst`` of the destination task will receive.
+
+        Returns a shared, presorted sequence — callers must not mutate it.
+        """
+        return self._by_dst.get(dst, _NO_MESSAGES)
 
     def send_bytes_of(self, src: int) -> int:
         """Total bytes rank ``src`` sends on this edge per CPI."""

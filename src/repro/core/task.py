@@ -108,6 +108,10 @@ class PipelineTask(abc.ABC):
         #: drained before the iteration ends, so communication no longer
         #: overlaps computation.
         self.double_buffering = double_buffering
+        # Per-edge lookups reused every iteration (lazily built: an edge's
+        # receive sources and unpack charge are static for a given rank).
+        self._recv_sources_cache: Dict[str, list] = {}
+        self._unpack_charge_cache: Dict[str, Optional[tuple]] = {}
 
     # ------------------------------------------------------------------ hooks --
     def pre_iteration(self, ctx: RankContext, cpi: int):
@@ -156,27 +160,38 @@ class PipelineTask(abc.ABC):
         """Hook at t3 (CFAR uses it to deliver the detection report)."""
 
     # ----------------------------------------------------------------- helpers --
+    def _recv_sources(self, edge_name: str) -> list:
+        """Static (src local rank, src world rank) pairs for one in-edge."""
+        sources = self._recv_sources_cache.get(edge_name)
+        if sources is None:
+            plan = self.layout.plan(edge_name)
+            sources = self._recv_sources_cache[edge_name] = [
+                (message.src, self.layout.world_rank(plan.src_task, message.src))
+                for message in plan.recvs_of(self.local_rank)
+            ]
+        return sources
+
     def _post_recvs(self, ctx: RankContext, cpi: int):
         """Post irecvs for iteration ``cpi``; returns (edge, src, request)."""
         entries = []
         for edge_name in self.recv_edges(cpi):
-            plan = self.layout.plan(edge_name)
             tag = edge_tag(edge_name, self.recv_tag_cpi(edge_name, cpi))
-            for message in plan.recvs_of(self.local_rank):
-                src_world = self.layout.world_rank(plan.src_task, message.src)
-                entries.append(
-                    (edge_name, message.src, ctx.irecv(source=src_world, tag=tag))
-                )
+            for src, src_world in self._recv_sources(edge_name):
+                entries.append((edge_name, src, ctx.irecv(source=src_world, tag=tag)))
         return entries
 
     def _unpack_charges(self, cpi: int) -> list[tuple[int, bool]]:
         """(nbytes, strided) pairs to charge for assembling the inputs."""
         charges = []
         for edge_name in self.recv_edges(cpi):
-            plan = self.layout.plan(edge_name)
-            nbytes = plan.recv_bytes_of(self.local_rank)
-            if nbytes:
-                charges.append((nbytes, plan.unpack_strided))
+            charge = self._unpack_charge_cache.get(edge_name, False)
+            if charge is False:
+                plan = self.layout.plan(edge_name)
+                nbytes = plan.recv_bytes_of(self.local_rank)
+                charge = (nbytes, plan.unpack_strided) if nbytes else None
+                self._unpack_charge_cache[edge_name] = charge
+            if charge is not None:
+                charges.append(charge)
         return charges
 
     # -------------------------------------------------------------------- loop --
@@ -220,16 +235,22 @@ class PipelineTask(abc.ABC):
 
             # Pack (data collection / reorganization) + post async sends.
             send_requests = []
+            offsets = self.layout.assignment.rank_offsets()
             for edge_name, messages in sends:
                 plan = self.layout.plan(edge_name)
                 pack_bytes = sum(message.nbytes for message, _ in messages)
                 if pack_bytes:
                     yield ctx.copy(pack_bytes, strided=plan.pack_strided)
                 tag = edge_tag(edge_name, self.send_tag_cpi(edge_name, cpi))
+                dst_offset = offsets[plan.dst_task]
                 for message, payload in messages:
-                    dst_world = self.layout.world_rank(plan.dst_task, message.dst)
                     send_requests.append(
-                        ctx.isend(payload, dest=dst_world, tag=tag, nbytes=message.nbytes)
+                        ctx.isend(
+                            payload,
+                            dest=dst_offset + message.dst,
+                            tag=tag,
+                            nbytes=message.nbytes,
+                        )
                     )
             # Wait for the previous iteration's sends (outBuf[prev] reusable)
             # — or, without double buffering, for this iteration's own.

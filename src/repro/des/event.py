@@ -44,6 +44,11 @@ class Event:
 
     __slots__ = ("sim", "name", "callbacks", "_state", "_ok", "_value", "defused")
 
+    #: Overridden per-instance on pool-recycled Timeouts (see
+    #: :meth:`repro.des.engine.Simulator.pooled_timeout`); plain events are
+    #: never recycled.
+    _pooled = False
+
     def __init__(self, sim, name: str = ""):
         self.sim = sim
         self.name = name
@@ -120,13 +125,14 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically ``delay`` time units after creation."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_pooled")
 
     def __init__(self, sim, delay: float, value: Any = None, name: str = ""):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(sim, name=name or f"timeout({delay:g})")
         self.delay = delay
+        self._pooled = False
         self._ok = True
         self._value = value
         self._state = TRIGGERED

@@ -23,11 +23,14 @@ from repro.errors import SimulationError
 class Request(Event):
     """Event that fires when the resource grants this request."""
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "requested_at")
 
     def __init__(self, sim, resource: "Resource"):
-        super().__init__(sim, name=f"request:{resource.name}")
+        # The label is precomputed by the resource: requests are made on
+        # the simulation hot path (hundreds of thousands per run).
+        super().__init__(sim, name=resource._request_name)
         self.resource = resource
+        self.requested_at = 0.0
 
 
 class Resource:
@@ -49,13 +52,13 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._request_name = f"request:{name}"
         self._in_use = 0
         self._waiters: deque[Request] = deque()
         #: Total number of grants ever made (for utilization accounting).
         self.total_grants = 0
         #: Cumulative (grant_time - request_time) over all grants.
         self.total_wait_time = 0.0
-        self._request_times: dict[int, float] = {}
 
     @property
     def in_use(self) -> int:
@@ -70,7 +73,7 @@ class Resource:
     def request(self) -> Request:
         """Ask for one slot; the returned event fires when granted."""
         req = Request(self.sim, self)
-        self._request_times[id(req)] = self.sim.now
+        req.requested_at = self.sim.now
         if self._in_use < self.capacity:
             self._grant(req)
         else:
@@ -91,14 +94,12 @@ class Resource:
             self._waiters.remove(req)
         except ValueError:
             return False
-        self._request_times.pop(id(req), None)
         return True
 
     def _grant(self, req: Request) -> None:
         self._in_use += 1
         self.total_grants += 1
-        t_req = self._request_times.pop(id(req), self.sim.now)
-        self.total_wait_time += self.sim.now - t_req
+        self.total_wait_time += self.sim.now - req.requested_at
         req.succeed(self)
 
 

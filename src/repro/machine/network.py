@@ -55,6 +55,11 @@ class Network:
         self._inject: dict[int, Resource] = {}
         self._eject: dict[int, Resource] = {}
         self._links: dict[Link, Resource] = {}
+        # Per-pair route state ((src, dst) -> (holds, header latency)) and
+        # per-size serialization times: both are pure functions of static
+        # inputs, recomputed ~10^5 times per run without these caches.
+        self._route_cache: dict[tuple[int, int], tuple[list, float]] = {}
+        self._occupancy_cache: dict[int, float] = {}
         #: Counters for diagnostics / tests.
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -84,49 +89,86 @@ class Network:
 
         ``src == dst`` models an on-node copy: no startup, just a contiguous
         copy pass at link bandwidth (generous — self-sends are rare).
+
+        Transfers are driven by a callback chain rather than a DES process:
+        a paper-scale run makes ~10^5 transfers, and the per-message
+        generator machinery (process object, resume steps, completion
+        event) used to dominate simulation wall time.  The chain schedules
+        exactly the same events at the same priorities as the old process
+        version, so virtual timestamps are bit-identical.
         """
         if nbytes < 0:
             raise MachineError(f"negative message size: {nbytes}")
         self.messages_sent += 1
         self.bytes_sent += nbytes
-        done = self.sim.event(name=f"xfer:{src}->{dst}:{nbytes}B")
-        self.sim.process(self._transfer_proc(src, dst, nbytes, done), name=f"net:{src}->{dst}")
+        sim = self.sim
+        # Constant labels: formatting per-transfer names costs real wall
+        # time at ~10^5 transfers per run and names are diagnostic only.
+        done = Event(sim, name="xfer")
+        # Defer the first action by one zero-delay event, exactly as
+        # spawning a process did: same-timestamp operations posted earlier
+        # keep their place in the schedule.  A recycled timeout serves as
+        # the deferral (same priority and sequence cost as a plain event).
+        start = sim.pooled_timeout(0.0, name="net")
+        start.callbacks.append(
+            lambda _ev: self._begin_transfer(src, dst, nbytes, done)
+        )
         return done
 
-    def _transfer_proc(self, src: int, dst: int, nbytes: int, done: Event):
+    def _begin_transfer(self, src: int, dst: int, nbytes: int, done: Event) -> None:
+        sim = self.sim
         if src == dst:
-            yield self.sim.timeout(self.cost.per_byte_s * nbytes)
-            done.succeed()
+            delay = sim.pooled_timeout(self.cost.per_byte_s * nbytes)
+            delay.callbacks.append(lambda _ev: done.succeed())
             return
 
-        hops = self.mesh.hop_distance(src, dst)
-        wire_time = self.cost.point_to_point(nbytes, hops)
-        occupancy = self.cost.occupancy(nbytes)
+        occupancy = self._occupancy_cache.get(nbytes)
+        if occupancy is None:
+            occupancy = self._occupancy_cache[nbytes] = self.cost.occupancy(nbytes)
 
         if self.contention is ContentionMode.NONE:
-            yield self.sim.timeout(wire_time)
-            done.succeed()
+            hops = self.mesh.hop_distance(src, dst)
+            delay = sim.pooled_timeout(self.cost.point_to_point(nbytes, hops))
+            delay.callbacks.append(lambda _ev: done.succeed())
             return
 
-        holds: list[Resource] = [self._injection_port(src), self._ejection_port(dst)]
-        if self.contention is ContentionMode.LINKS:
-            holds.extend(self._link(l) for l in self.mesh.route(src, dst))
+        route = self._route_cache.get((src, dst))
+        if route is None:
+            hops = self.mesh.hop_distance(src, dst)
+            if self.contention is ContentionMode.ENDPOINT:
+                # Canonical acquire order is by resource name; "eject[...]"
+                # sorts before "inject[...]", so the pair needs no sort call.
+                holds = [self._ejection_port(dst), self._injection_port(src)]
+            else:
+                holds = [self._injection_port(src), self._ejection_port(dst)]
+                holds.extend(self._link(l) for l in self.mesh.route(src, dst))
+                # Acquire in a canonical order (by resource name) so that two
+                # messages over overlapping routes cannot deadlock.
+                holds.sort(key=lambda r: r.name)
+            header = self.cost.startup_s + self.cost.per_hop_s * hops
+            route = self._route_cache[(src, dst)] = (holds, header)
+        holds, header = route
 
-        granted: list[Resource] = []
-        try:
-            # Acquire in a canonical order (by resource name) so that two
-            # messages over overlapping routes cannot deadlock.
-            for res in sorted(holds, key=lambda r: r.name):
-                yield res.request()
-                granted.append(res)
+        hold_time = header + occupancy
+        index = 0
+
+        def acquire_next(_ev) -> None:
+            nonlocal index
+            if index < len(holds):
+                res = holds[index]
+                index += 1
+                res.request().callbacks.append(acquire_next)
+                return
             # Header latency + serialization while holding the path.
-            yield self.sim.timeout(
-                self.cost.startup_s + self.cost.per_hop_s * hops + occupancy
-            )
-        finally:
-            for res in reversed(granted):
+            delay = sim.pooled_timeout(hold_time)
+            delay.callbacks.append(finish)
+
+        def finish(_ev) -> None:
+            for res in reversed(holds):
                 res.release()
-        done.succeed()
+            done.succeed()
+
+        acquire_next(None)
 
     # -- diagnostics ------------------------------------------------------------
     def endpoint_wait_time(self, node: int) -> float:

@@ -29,6 +29,8 @@ import itertools
 from collections import deque
 from typing import Any, Callable, Generator, Optional, Sequence
 
+import numpy as np
+
 from repro.des import Simulator
 from repro.errors import MPIError
 from repro.machine.network import Network
@@ -98,9 +100,24 @@ class World:
         self.eager_threshold = int(eager_threshold)
         self._context_counter = itertools.count()
         self._send_seq = itertools.count()
-        # Matching state, keyed by (context_id, dest_world_rank).
-        self._pending_sends: dict[tuple[int, int], deque[_PendingSend]] = {}
-        self._pending_recvs: dict[tuple[int, int], deque[tuple[RecvRequest, int]]] = {}
+        # Matching state.  Sends always carry a concrete (source, tag), so
+        # unmatched sends live in exact-key FIFO queues; one posted-order
+        # sequence number per operation ties the structures together and
+        # preserves MPI's earliest-posted / non-overtaking semantics.
+        # Receives with a wildcard go to a per-destination side queue that
+        # stays tiny (the pipeline itself never posts wildcards).
+        #   exact key: (context_id, dst_world, src_world, tag)
+        #   dest key:  (context_id, dst_world)
+        self._sends_exact: dict[tuple, deque[_PendingSend]] = {}
+        self._send_keys: dict[tuple[int, int], set[tuple]] = {}
+        self._recvs_exact: dict[tuple, deque[tuple[RecvRequest, int]]] = {}
+        self._recvs_wild: dict[tuple[int, int], deque[tuple[RecvRequest, int]]] = {}
+        #: Matching-probe counter: queue entries examined while matching
+        #: (the figure the indexed fast path drives toward ~1 per message).
+        self.match_probes = 0
+        #: Point-to-point operations posted (sends, receives).
+        self.sends_posted = 0
+        self.recvs_posted = 0
         #: World communicator spanning every rank.
         self.comm = Communicator(self, list(range(num_ranks)))
 
@@ -131,6 +148,11 @@ class World:
         return self.placement[world_rank]
 
     # -- matching core -------------------------------------------------------------
+    # A receive must match the earliest-posted, not-yet-matched send whose
+    # (source, tag) satisfies its pattern — and vice versa.  With exact-key
+    # FIFO queues the earliest exact candidate is the front of one deque;
+    # wildcard candidates are compared by posted-order sequence number, so
+    # the indexed structures reproduce the linear scan's choices exactly.
     def _post_send(
         self,
         context_id: int,
@@ -145,15 +167,45 @@ class World:
             source=src_world, tag=tag, payload=payload, nbytes=nbytes, sent_at=self.sim.now
         )
         pending = _PendingSend(request, message, src_world, dst_world, next(self._send_seq))
-        key = (context_id, dst_world)
-        recvs = self._pending_recvs.get(key)
-        if recvs:
-            for idx, (recv_req, _seq) in enumerate(recvs):
-                if recv_req.matches(src_world, tag):
-                    del recvs[idx]
-                    self._start_transfer(pending, recv_req)
-                    return request
-        self._pending_sends.setdefault(key, deque()).append(pending)
+        self.sends_posted += 1
+        exact_key = (context_id, dst_world, src_world, tag)
+        probes = 0
+
+        exact_queue = self._recvs_exact.get(exact_key)
+        exact_cand = exact_queue[0] if exact_queue else None
+        if exact_cand is not None:
+            probes += 1
+        wild_cand = None
+        wild_idx = -1
+        wild_queue = (
+            self._recvs_wild.get((context_id, dst_world)) if self._recvs_wild else None
+        )
+        if wild_queue:
+            for idx, entry in enumerate(wild_queue):
+                probes += 1
+                if entry[0].matches(src_world, tag):
+                    wild_cand, wild_idx = entry, idx
+                    break
+        self.match_probes += probes
+
+        if exact_cand is not None and (wild_cand is None or exact_cand[1] < wild_cand[1]):
+            exact_queue.popleft()
+            if not exact_queue:
+                del self._recvs_exact[exact_key]
+            self._start_transfer(pending, exact_cand[0])
+            return request
+        if wild_cand is not None:
+            del wild_queue[wild_idx]
+            if not wild_queue:
+                del self._recvs_wild[(context_id, dst_world)]
+            self._start_transfer(pending, wild_cand[0])
+            return request
+
+        queue = self._sends_exact.get(exact_key)
+        if queue is None:
+            queue = self._sends_exact[exact_key] = deque()
+            self._send_keys.setdefault((context_id, dst_world), set()).add(exact_key)
+        queue.append(pending)
         if nbytes <= self.eager_threshold:
             # Eager protocol: the message is buffered by the transport; the
             # sender's buffer is immediately reusable.
@@ -164,23 +216,64 @@ class World:
         self, context_id: int, dst_world: int, source: int, tag: int
     ) -> RecvRequest:
         request = RecvRequest(self.sim, source=source, tag=tag)
-        key = (context_id, dst_world)
-        sends = self._pending_sends.get(key)
-        if sends:
-            for idx, pending in enumerate(sends):
-                if request.matches(pending.src_world, pending.message.tag):
-                    del sends[idx]
-                    self._start_transfer(pending, request)
-                    return request
-        self._pending_recvs.setdefault(key, deque()).append(
+        self.recvs_posted += 1
+
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            exact_key = (context_id, dst_world, source, tag)
+            queue = self._sends_exact.get(exact_key)
+            if queue:
+                self.match_probes += 1
+                pending = queue.popleft()
+                if not queue:
+                    del self._sends_exact[exact_key]
+                    self._discard_send_key(context_id, dst_world, exact_key)
+                self._start_transfer(pending, request)
+                return request
+            self._recvs_exact.setdefault(exact_key, deque()).append(
+                (request, next(self._send_seq))
+            )
+            return request
+
+        # Wildcard receive: earliest matching send across this
+        # destination's exact-key queues (each front is that key's oldest).
+        dest_key = (context_id, dst_world)
+        keys = self._send_keys.get(dest_key)
+        best = None
+        best_key = None
+        if keys:
+            for key in keys:
+                self.match_probes += 1
+                if request.matches(key[2], key[3]):
+                    front = self._sends_exact[key][0]
+                    if best is None or front.seq < best.seq:
+                        best, best_key = front, key
+        if best is not None:
+            queue = self._sends_exact[best_key]
+            queue.popleft()
+            if not queue:
+                del self._sends_exact[best_key]
+                self._discard_send_key(context_id, dst_world, best_key)
+            self._start_transfer(best, request)
+            return request
+        self._recvs_wild.setdefault(dest_key, deque()).append(
             (request, next(self._send_seq))
         )
         return request
 
+    def _discard_send_key(self, context_id: int, dst_world: int, exact_key: tuple) -> None:
+        keys = self._send_keys.get((context_id, dst_world))
+        if keys is not None:
+            keys.discard(exact_key)
+            if not keys:
+                del self._send_keys[(context_id, dst_world)]
+
     def _start_transfer(self, pending: _PendingSend, recv_req: RecvRequest) -> None:
-        src_node = self.node_of(pending.src_world)
-        dst_node = self.node_of(pending.dst_world)
-        done = self.network.transfer(src_node, dst_node, pending.message.nbytes)
+        placement = self.placement
+        done = self.network.transfer(
+            placement[pending.src_world],
+            placement[pending.dst_world],
+            pending.message.nbytes,
+        )
 
         def _deliver(_event, pending=pending, recv_req=recv_req):
             message = pending.message
@@ -199,8 +292,10 @@ class World:
     # -- diagnostics ----------------------------------------------------------------
     def outstanding_operations(self) -> int:
         """Unmatched sends + receives across all contexts (0 at a clean end)."""
-        return sum(len(q) for q in self._pending_sends.values()) + sum(
-            len(q) for q in self._pending_recvs.values()
+        return (
+            sum(len(q) for q in self._sends_exact.values())
+            + sum(len(q) for q in self._recvs_exact.values())
+            + sum(len(q) for q in self._recvs_wild.values())
         )
 
 
@@ -267,19 +362,23 @@ class Communicator:
             raise MPIError(f"tags must be non-negative, got {tag}")
         if nbytes is None:
             nbytes = payload_nbytes(payload)
-        import numpy as np
-
-        if isinstance(payload, np.ndarray):
+        if payload is not None and isinstance(payload, np.ndarray):
             # MPI owns the buffer for the duration of the send; emulate by
             # copying so that sender-side mutation cannot race the transfer.
+            # Modeled mode passes payload=None with an explicit nbytes and
+            # must never pay for a copy (or the per-call numpy import this
+            # method used to do).
             payload = payload.copy()
+        # Rank translation inlined (two method calls per send add up at
+        # ~10^5 sends per run).
+        ranks = self.world_ranks
+        size = len(ranks)
+        if not (0 <= src < size):
+            raise MPIError(f"local rank {src} out of range (size={size})")
+        if not (0 <= dest < size):
+            raise MPIError(f"local rank {dest} out of range (size={size})")
         return self.world._post_send(
-            self.context_id,
-            self.world_rank_of(src),
-            self.world_rank_of(dest),
-            tag,
-            payload,
-            int(nbytes),
+            self.context_id, ranks[src], ranks[dest], tag, payload, int(nbytes)
         )
 
     def irecv(
@@ -288,11 +387,16 @@ class Communicator:
         """Post a non-blocking receive at ``dst`` (local rank)."""
         if dst is None:
             raise MPIError("irecv needs the receiving rank (use RankContext.irecv)")
-        src_world = (
-            ANY_SOURCE if source == ANY_SOURCE else self.world_rank_of(source)
-        )
-        request = self.world._post_recv(
-            self.context_id, self.world_rank_of(dst), src_world, tag
-        )
+        ranks = self.world_ranks
+        size = len(ranks)
+        if source == ANY_SOURCE:
+            src_world = ANY_SOURCE
+        elif 0 <= source < size:
+            src_world = ranks[source]
+        else:
+            raise MPIError(f"local rank {source} out of range (size={size})")
+        if not (0 <= dst < size):
+            raise MPIError(f"local rank {dst} out of range (size={size})")
+        request = self.world._post_recv(self.context_id, ranks[dst], src_world, tag)
         request.comm = self
         return request

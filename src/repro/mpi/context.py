@@ -34,6 +34,12 @@ class RankContext:
         self.node = world.node_of(world_rank)
         self.sim = world.sim
         self.machine = world.machine
+        # Hot-path bindings: compute/copy charges happen several times per
+        # rank per CPI, so resolve the cost callables once.
+        self._compute_time = world.machine.node.compute_time
+        self._copy_time = world.machine.packing_cost.copy_time
+        self._pooled_timeout = world.sim.pooled_timeout
+        self._compute_names: dict = {}
 
     # -- communication -----------------------------------------------------
     def isend(
@@ -68,21 +74,23 @@ class RankContext:
         return RankContext(self.world, comm, self.world_rank)
 
     # -- local machine costs -------------------------------------------------
+    # These return pool-recycled timeouts (pure delays): callers must yield
+    # them immediately and not hold a reference past the wait.
     def compute(self, kernel: str, flops: float) -> Event:
         """Timeout covering ``flops`` of ``kernel`` on this node."""
-        return self.sim.timeout(
-            self.machine.node.compute_time(kernel, flops), name=f"compute:{kernel}"
-        )
+        name = self._compute_names.get(kernel)
+        if name is None:
+            name = self._compute_names[kernel] = f"compute:{kernel}"
+        return self._pooled_timeout(self._compute_time(kernel, flops), name=name)
 
     def elapse(self, seconds: float) -> Event:
         """Timeout for a directly-specified duration."""
-        return self.sim.timeout(seconds, name="elapse")
+        return self._pooled_timeout(seconds, name="elapse")
 
     def copy(self, nbytes: int, strided: bool = False) -> Event:
         """Timeout covering one pack/unpack pass over ``nbytes``."""
-        return self.sim.timeout(
-            self.machine.packing_cost.copy_time(nbytes, strided=strided),
-            name="copy",
+        return self._pooled_timeout(
+            self._copy_time(nbytes, strided=strided), name="copy"
         )
 
     # -- timing -----------------------------------------------------------------

@@ -29,7 +29,7 @@ def payload_nbytes(payload: Any) -> int:
     return 64
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A delivered message, as returned by a receive.
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.des.event import Event, AllOf, AnyOf
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG
 
 
 class Request(Event):
@@ -33,7 +34,9 @@ class SendRequest(Request):
     __slots__ = ("dest", "tag", "nbytes")
 
     def __init__(self, sim, dest: int, tag: int, nbytes: int):
-        super().__init__(sim, name=f"isend(dest={dest},tag={tag})")
+        # Constant label: requests are created ~10^5 times per run and the
+        # name is diagnostic only (dest/tag stay inspectable as attributes).
+        super().__init__(sim, name="isend")
         self.dest = dest
         self.tag = tag
         self.nbytes = nbytes
@@ -45,7 +48,7 @@ class RecvRequest(Request):
     __slots__ = ("source", "tag", "comm")
 
     def __init__(self, sim, source: int, tag: int):
-        super().__init__(sim, name=f"irecv(source={source},tag={tag})")
+        super().__init__(sim, name="irecv")
         self.source = source
         self.tag = tag
         #: Communicator the receive was posted on; used at delivery time to
@@ -54,8 +57,6 @@ class RecvRequest(Request):
 
     def matches(self, src: int, tag: int) -> bool:
         """True if an incoming (src, tag) satisfies this request's pattern."""
-        from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG
-
         return (self.source in (ANY_SOURCE, src)) and (self.tag in (ANY_TAG, tag))
 
 

@@ -1,0 +1,20 @@
+"""Performance instrumentation for the simulator itself.
+
+The paper's results are virtual-time measurements; this package measures
+the *simulator's* wall-clock behaviour — events per second, matching
+probes per message, wall-seconds per simulated CPI — so that regressions
+in simulation speed are visible and the fast-path optimizations stay
+honest.
+
+Everything here is opt-in.  The underlying counters
+(:attr:`repro.des.Simulator.events_processed`,
+:attr:`repro.mpi.World.match_probes`, ...) are plain integer increments
+maintained unconditionally on the hot path; collection and reporting
+only happen when a caller asks (``STAPPipeline(..., perf=True)``,
+``repro-stap case --perf``, or :func:`profile_run`).
+"""
+
+from repro.perf.counters import PerfReport, snapshot_counters
+from repro.perf.profiling import profile_run
+
+__all__ = ["PerfReport", "snapshot_counters", "profile_run"]

@@ -1,0 +1,136 @@
+"""Simulation-speed counters and the report that aggregates them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def snapshot_counters(sim, world=None) -> dict:
+    """Raw counter values of a simulator (and optionally its MPI world).
+
+    Taken before and after a run, the difference is what the run cost.
+    """
+    counters = {
+        "events_processed": sim.events_processed,
+        "match_probes": 0,
+        "sends_posted": 0,
+        "recvs_posted": 0,
+        "network_messages": 0,
+        "network_bytes": 0,
+    }
+    if world is not None:
+        counters.update(
+            match_probes=world.match_probes,
+            sends_posted=world.sends_posted,
+            recvs_posted=world.recvs_posted,
+            network_messages=world.network.messages_sent,
+            network_bytes=world.network.bytes_sent,
+        )
+    return counters
+
+
+@dataclass
+class PerfReport:
+    """Wall-clock cost of one simulation run.
+
+    ``wall_seconds`` is host time; ``sim_seconds`` is the virtual makespan.
+    The derived properties are the quantities tracked across PRs:
+    events/second (engine throughput), probes/message (matching
+    efficiency — the indexed queues aim at ~1), and wall-seconds per
+    simulated CPI (the end-to-end figure of merit).
+    """
+
+    wall_seconds: float
+    sim_seconds: float
+    num_cpis: int
+    events_processed: int
+    match_probes: int = 0
+    sends_posted: int = 0
+    recvs_posted: int = 0
+    network_messages: int = 0
+    network_bytes: int = 0
+    #: Optional label (case name, mode) carried into serialized output.
+    label: str = ""
+    extras: dict = field(default_factory=dict)
+
+    # -- derived ----------------------------------------------------------------
+    @property
+    def events_per_second(self) -> float:
+        """Engine throughput in events per wall-clock second."""
+        return self.events_processed / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def probes_per_message(self) -> float:
+        """Queue entries examined per point-to-point operation posted."""
+        ops = self.sends_posted + self.recvs_posted
+        return self.match_probes / ops if ops else 0.0
+
+    @property
+    def wall_seconds_per_cpi(self) -> float:
+        """Host seconds spent per simulated CPI."""
+        return self.wall_seconds / self.num_cpis if self.num_cpis else 0.0
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_snapshots(
+        cls,
+        before: dict,
+        after: dict,
+        wall_seconds: float,
+        sim_seconds: float,
+        num_cpis: int,
+        label: str = "",
+    ) -> "PerfReport":
+        """Build a report from :func:`snapshot_counters` pairs."""
+        delta = {key: after[key] - before[key] for key in before}
+        return cls(
+            wall_seconds=wall_seconds,
+            sim_seconds=sim_seconds,
+            num_cpis=num_cpis,
+            label=label,
+            **delta,
+        )
+
+    # -- output -----------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable view (raw counters plus derived rates)."""
+        return {
+            "label": self.label,
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": self.sim_seconds,
+            "num_cpis": self.num_cpis,
+            "events_processed": self.events_processed,
+            "match_probes": self.match_probes,
+            "sends_posted": self.sends_posted,
+            "recvs_posted": self.recvs_posted,
+            "network_messages": self.network_messages,
+            "network_bytes": self.network_bytes,
+            "events_per_second": self.events_per_second,
+            "probes_per_message": self.probes_per_message,
+            "wall_seconds_per_cpi": self.wall_seconds_per_cpi,
+            **self.extras,
+        }
+
+    def summary(self) -> str:
+        """Human-readable block for CLI output."""
+        lines = [
+            f"--- simulation perf {('(' + self.label + ')') if self.label else ''}".rstrip(),
+            f"wall time          {self.wall_seconds:10.3f} s"
+            f"   ({self.wall_seconds_per_cpi * 1e3:8.1f} ms / simulated CPI)",
+            f"virtual makespan   {self.sim_seconds:10.3f} s",
+            f"events processed   {self.events_processed:10d}"
+            f"   ({self.events_per_second:10.0f} events/s)",
+        ]
+        ops = self.sends_posted + self.recvs_posted
+        if ops:
+            lines.append(
+                f"p2p ops posted     {ops:10d}"
+                f"   ({self.probes_per_message:10.2f} match probes/op)"
+            )
+        if self.network_messages:
+            lines.append(
+                f"network messages   {self.network_messages:10d}"
+                f"   ({self.network_bytes / 2**20:10.1f} MiB on the wire)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""cProfile harness for simulation runs."""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable, Optional
+
+
+def profile_run(
+    fn: Callable[..., Any],
+    *args,
+    sort: str = "cumulative",
+    limit: int = 25,
+    **kwargs,
+) -> tuple[Any, str]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, stats_text)`` where ``stats_text`` is the top
+    ``limit`` entries sorted by ``sort`` ("cumulative", "tottime", ...).
+    Intended use::
+
+        result, stats = profile_run(pipeline.run)
+        print(stats)
+
+    The profiler multiplies wall time several-fold; use the
+    :class:`~repro.perf.counters.PerfReport` path for honest timings and
+    this one to find out *where* the time goes.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(limit)
+    return result, buffer.getvalue()

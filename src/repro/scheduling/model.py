@@ -119,6 +119,10 @@ class AnalyticPipelineModel:
     def __init__(self, params: STAPParams, machine: Optional[Machine] = None):
         self.params = params
         self.machine = machine or afrl_paragon()
+        # (task, nodes) -> seconds.  The optimizer's greedy/exhaustive
+        # searches re-evaluate the same few hundred points thousands of
+        # times; the model is pure so memoizing is free accuracy-wise.
+        self._seconds_memo: Dict[tuple[str, int], float] = {}
 
     @cached_property
     def task_models(self) -> Dict[str, TaskTimeModel]:
@@ -154,8 +158,13 @@ class AnalyticPipelineModel:
 
     # -- predictions --------------------------------------------------------------
     def task_seconds(self, task: str, nodes: int) -> float:
-        """Predicted ``T_i`` for one task at a node count."""
-        return self.task_models[task].seconds(nodes, self.machine)
+        """Predicted ``T_i`` for one task at a node count (memoized)."""
+        key = (task, nodes)
+        seconds = self._seconds_memo.get(key)
+        if seconds is None:
+            seconds = self.task_models[task].seconds(nodes, self.machine)
+            self._seconds_memo[key] = seconds
+        return seconds
 
     def task_times(self, assignment: Assignment) -> Dict[str, float]:
         """Predicted ``T_i`` for every task of an assignment."""

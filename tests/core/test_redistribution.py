@@ -212,3 +212,34 @@ class TestPerRankAccounting:
             sent = sum(plan.send_bytes_of(s) for s in range(plan.src_size))
             recvd = sum(plan.recv_bytes_of(d) for d in range(plan.dst_size))
             assert sent == recvd == plan.total_bytes
+
+
+class TestTagSpaceGuard:
+    def test_current_constants_are_collision_free(self):
+        from repro.core.redistribution import TAG_STRIDE, validate_tag_space
+
+        validate_tag_space()  # import-time invariant, re-checked explicitly
+        assert TAG_STRIDE > max(TAG_CODES.values())
+
+    def test_stride_not_exceeding_max_code_raises(self):
+        from repro.core.redistribution import validate_tag_space
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="TAG_STRIDE"):
+            validate_tag_space(stride=8, codes={"edge_a": 3, "edge_b": 8})
+        with pytest.raises(ConfigurationError, match="collide"):
+            validate_tag_space(stride=5, codes={"edge_a": 7})
+        # Strictly greater is required, equal is a collision.
+        validate_tag_space(stride=9, codes={"edge_a": 3, "edge_b": 8})
+
+    def test_edge_tags_never_collide_across_cpis(self):
+        from repro.core.redistribution import TAG_STRIDE
+
+        seen = {}
+        for cpi in range(3):
+            for edge in TAG_CODES:
+                tag = edge_tag(edge, cpi)
+                assert tag not in seen, (edge, cpi, seen[tag])
+                seen[tag] = (edge, cpi)
+        assert len(seen) == 3 * len(TAG_CODES)
+        assert TAG_STRIDE > max(TAG_CODES.values())

@@ -109,3 +109,75 @@ class TestDeadlock:
         sim = Simulator()
         with pytest.raises(SimulationError):
             sim._schedule(sim.event(), delay=-1.0)
+
+
+class TestPooledTimeouts:
+    def test_pooled_timeout_fires_like_a_timeout(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            value = yield sim.pooled_timeout(1.5, value="v")
+            log.append((sim.now, value))
+
+        sim.process(proc())
+        sim.run()
+        assert log == [(1.5, "v")]
+
+    def test_pool_recycles_objects(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            for _ in range(3):
+                timeout = sim.pooled_timeout(1.0)
+                seen.append(id(timeout))
+                yield timeout
+
+        sim.process(proc())
+        sim.run()
+        # After the first timeout is processed it returns to the pool and
+        # is handed back out for the next wait.
+        assert len(set(seen)) < len(seen)
+
+    def test_tracer_disables_recycling(self):
+        sim = Simulator(trace=True)
+
+        def proc():
+            yield sim.pooled_timeout(1.0)
+            yield sim.pooled_timeout(1.0)
+
+        sim.process(proc())
+        sim.run()
+        # The tracer records event objects, so they must never be reused.
+        assert not sim._timeout_pool
+
+    def test_pooled_and_plain_timeouts_interleave_deterministically(self):
+        def run_once(pooled: bool):
+            sim = Simulator()
+            order = []
+
+            def proc(name, delay):
+                make = sim.pooled_timeout if pooled else sim.timeout
+                for _ in range(4):
+                    yield make(delay)
+                    order.append((name, sim.now))
+
+            sim.process(proc("a", 1.0))
+            sim.process(proc("b", 1.0))
+            sim.run()
+            return order
+
+        # Same creation order => same processing order, pooled or not.
+        assert run_once(True) == run_once(False)
+
+    def test_events_processed_counter_advances(self):
+        sim = Simulator()
+        assert sim.events_processed == 0
+
+        def proc():
+            yield sim.timeout(1.0)
+
+        sim.process(proc())
+        sim.run()
+        assert sim.events_processed > 0

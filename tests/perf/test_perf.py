@@ -1,0 +1,181 @@
+"""The repro.perf package: counters, reports, profiling harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Assignment, STAPParams, STAPPipeline
+from repro.des import Simulator
+from repro.machine import afrl_paragon
+from repro.mpi import World
+from repro.perf import PerfReport, profile_run, snapshot_counters
+
+TINY_ASSIGNMENT = Assignment(3, 2, 2, 2, 2, 2, 2, name="perf-test")
+
+
+def run_tiny(perf: bool):
+    return STAPPipeline(
+        STAPParams.tiny(), TINY_ASSIGNMENT, num_cpis=3, perf=perf
+    ).run()
+
+
+class TestCounters:
+    def test_simulator_counts_processed_events(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+
+        sim.process(proc())
+        sim.run()
+        # Start event + two timeouts at minimum; exact count is an engine
+        # detail, monotonicity and non-zero are the contract.
+        assert sim.events_processed >= 3
+
+    def test_world_counts_operations_and_probes(self):
+        sim = Simulator()
+        world = World(sim, afrl_paragon(), num_ranks=2, contention="none")
+
+        def sender(ctx):
+            yield ctx.isend(b"x", dest=1, tag=7, nbytes=64)
+
+        def receiver(ctx):
+            yield ctx.irecv(source=0, tag=7)
+
+        world.spawn(0, sender)
+        world.spawn(1, receiver)
+        sim.run()
+        assert world.sends_posted == 1
+        assert world.recvs_posted == 1
+        # Indexed matching: at most one probe per side of the match.
+        assert 0 <= world.match_probes <= 2
+
+    def test_snapshot_counters_shape(self):
+        sim = Simulator()
+        world = World(sim, afrl_paragon(), num_ranks=2)
+        snap = snapshot_counters(sim, world)
+        assert set(snap) == {
+            "events_processed",
+            "match_probes",
+            "sends_posted",
+            "recvs_posted",
+            "network_messages",
+            "network_bytes",
+        }
+        assert all(v == 0 for v in snap.values())
+        # Simulator-only snapshot still carries every key.
+        assert set(snapshot_counters(sim)) == set(snap)
+
+
+class TestPerfReport:
+    def test_derived_rates(self):
+        report = PerfReport(
+            wall_seconds=2.0,
+            sim_seconds=10.0,
+            num_cpis=4,
+            events_processed=1000,
+            match_probes=30,
+            sends_posted=10,
+            recvs_posted=10,
+            network_messages=10,
+            network_bytes=1 << 20,
+        )
+        assert report.events_per_second == pytest.approx(500.0)
+        assert report.probes_per_message == pytest.approx(1.5)
+        assert report.wall_seconds_per_cpi == pytest.approx(0.5)
+
+    def test_zero_denominators_do_not_raise(self):
+        report = PerfReport(
+            wall_seconds=0.0, sim_seconds=0.0, num_cpis=0, events_processed=0
+        )
+        assert report.events_per_second == 0.0
+        assert report.probes_per_message == 0.0
+        assert report.wall_seconds_per_cpi == 0.0
+
+    def test_from_snapshots_takes_deltas(self):
+        before = dict(
+            events_processed=100,
+            match_probes=5,
+            sends_posted=3,
+            recvs_posted=3,
+            network_messages=3,
+            network_bytes=300,
+        )
+        after = dict(
+            events_processed=250,
+            match_probes=9,
+            sends_posted=7,
+            recvs_posted=7,
+            network_messages=7,
+            network_bytes=900,
+        )
+        report = PerfReport.from_snapshots(
+            before, after, wall_seconds=1.0, sim_seconds=2.0, num_cpis=2, label="x"
+        )
+        assert report.events_processed == 150
+        assert report.match_probes == 4
+        assert report.network_bytes == 600
+        assert report.label == "x"
+
+    def test_to_dict_and_summary(self):
+        report = PerfReport(
+            wall_seconds=1.0,
+            sim_seconds=2.0,
+            num_cpis=5,
+            events_processed=100,
+            sends_posted=4,
+            recvs_posted=4,
+            match_probes=4,
+            network_messages=4,
+            network_bytes=4096,
+            label="unit",
+        )
+        data = report.to_dict()
+        assert data["label"] == "unit"
+        assert data["events_per_second"] == pytest.approx(100.0)
+        text = report.summary()
+        assert "events/s" in text
+        assert "probes/op" in text
+
+
+class TestPipelineWiring:
+    def test_perf_off_by_default(self):
+        result = run_tiny(perf=False)
+        assert result.perf is None
+
+    def test_perf_report_attached_and_consistent(self):
+        result = run_tiny(perf=True)
+        perf = result.perf
+        assert perf is not None
+        assert perf.wall_seconds > 0.0
+        assert perf.sim_seconds == pytest.approx(result.makespan)
+        assert perf.num_cpis == 3
+        assert perf.events_processed > 0
+        assert perf.sends_posted == perf.recvs_posted > 0
+        assert perf.network_messages == result.network_messages
+        assert perf.network_bytes == result.network_bytes
+        # The indexed matcher's target: ~1 probe per posted operation.
+        assert perf.probes_per_message < 2.0
+
+    def test_perf_run_results_identical_to_plain_run(self):
+        """Instrumentation must not perturb the simulation."""
+        plain = run_tiny(perf=False)
+        instrumented = run_tiny(perf=True)
+        assert repr(plain.makespan) == repr(instrumented.makespan)
+        assert plain.network_messages == instrumented.network_messages
+
+
+class TestProfileRun:
+    def test_returns_result_and_stats(self):
+        result, stats = profile_run(run_tiny, False, limit=5)
+        assert result.perf is None
+        assert result.makespan > 0.0
+        assert "function calls" in stats
+
+    def test_propagates_exceptions(self):
+        def boom():
+            raise ValueError("no")
+
+        with pytest.raises(ValueError):
+            profile_run(boom)
