@@ -38,11 +38,12 @@ NUM_CPIS = 25
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_simspeed.json"
 
 
-def measure_case(case_key: str, num_cpis: int = NUM_CPIS) -> dict:
+def measure_case(case_key: str, num_cpis: int = NUM_CPIS, trace: bool = False) -> dict:
     """One perf-instrumented modeled run; returns the JSON-ready record."""
     assignment = CASES[case_key]
     pipeline = STAPPipeline(
-        STAPParams.paper(), assignment, num_cpis=num_cpis, perf=True
+        STAPParams.paper(), assignment, num_cpis=num_cpis, perf=True,
+        trace=trace,
     )
     result = pipeline.run()
     perf = result.perf
@@ -99,6 +100,47 @@ def test_simspeed_smoke():
     print(f"wrote {RESULTS_PATH}")
     assert elapsed < 60.0, f"smoke benchmark took {elapsed:.1f}s (budget 60s)"
     assert record["probes_per_message"] < 2.0
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.obs
+def test_obs_overhead():
+    """Guard the cost of the observability layer.
+
+    Tracing records ~6 spans and ~1 message record per task iteration on
+    top of timestamps the simulation computes anyway, so an obs-on run
+    should stay within a small constant factor of obs-off — and obs-off
+    must not pay for the layer's existence at all (that case is covered
+    bit-exactly by the golden-fastpath tests; here we bound wall time).
+    """
+    import time
+
+    def timed(trace: bool) -> tuple[float, dict]:
+        t0 = time.perf_counter()
+        record = measure_case("case3", trace=trace)
+        return time.perf_counter() - t0, record
+
+    off_s, off = timed(False)
+    on_s, on = timed(True)
+    ratio = on_s / off_s if off_s else float("inf")
+    print()
+    print(f"obs off: {off_s:6.2f} s   obs on: {on_s:6.2f} s   ratio {ratio:.2f}x")
+    # Same simulated run either way.
+    assert on["makespan"] == off["makespan"]
+    assert on["network_messages"] == off["network_messages"]
+    # Generous bound: recording is passive, so even slow hosts stay far
+    # below this; a 3x blowup means the layer grew onto the hot path.
+    assert ratio < 3.0, f"observability overhead {ratio:.2f}x (budget 3x)"
+    # Merge into the results file without clobbering the smoke run's data.
+    existing = {}
+    if RESULTS_PATH.exists():
+        existing = json.loads(RESULTS_PATH.read_text())
+    existing["obs_overhead"] = {
+        "off_wall_seconds": off_s,
+        "on_wall_seconds": on_s,
+        "ratio": ratio,
+    }
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
 
 
 # -- script entry point ----------------------------------------------------------

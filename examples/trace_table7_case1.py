@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Trace Table 7's case 1 and write a Perfetto timeline of the run.
+
+Runs the paper's 236-node case-1 assignment for 25 CPIs with tracing on,
+writes ``table7_case1.trace.json`` (drag it into https://ui.perfetto.dev:
+one track per rank with nested recv/comp/send slices, one per network
+port, async arrows per message), and prints the bottleneck report — the
+span-derived twin of the paper's Table 7 breakdown, plus which stage
+limits throughput and where the interconnect queues.
+
+Run:  python examples/trace_table7_case1.py
+"""
+
+from pathlib import Path
+
+from repro import CASE1, STAPParams, STAPPipeline
+from repro.obs import build_report, write_chrome_trace
+
+OUT = Path(__file__).resolve().parent / "table7_case1.trace.json"
+
+
+def main() -> None:
+    pipeline = STAPPipeline(STAPParams.paper(), CASE1, num_cpis=25, trace=True)
+    result = pipeline.run()
+
+    print(build_report(result.trace).text())
+    print()
+
+    path = write_chrome_trace(result.trace, OUT, mesh=pipeline.machine.mesh)
+    sink = result.trace
+    print(f"wrote {path}")
+    print(f"  {len(sink.spans)} spans, {len(sink.messages)} messages, "
+          f"{len(sink.link_stats)} network resources")
+    print("open it at https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

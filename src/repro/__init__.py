@@ -50,6 +50,7 @@ from repro.radar import (
 )
 from repro.stap import SequentialSTAP, DetectionReport
 from repro.machine import Machine, afrl_paragon, ruggedized_paragon
+from repro.obs import TraceSink
 from repro.core import (
     Assignment,
     TASK_NAMES,

@@ -56,14 +56,28 @@ def cmd_flops(_args) -> int:
 
 def cmd_case(args) -> int:
     assignment = NAMED_CASES[args.name]
+    trace = bool(args.trace_out or args.report)
     pipeline = STAPPipeline(
-        STAPParams.paper(), assignment, num_cpis=args.cpis, perf=args.perf
+        STAPParams.paper(), assignment, num_cpis=args.cpis, perf=args.perf,
+        trace=trace,
     )
     result = pipeline.run_measured() if args.measured else pipeline.run()
     print(result.metrics.table(f"=== {assignment.name} ==="))
     if args.perf and result.perf is not None:
         print()
         print(result.perf.summary())
+    if args.report:
+        from repro.obs import build_report
+
+        print()
+        print(build_report(result.trace).text())
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        path = write_chrome_trace(
+            result.trace, args.trace_out, mesh=pipeline.machine.mesh
+        )
+        print(f"\nwrote timeline {path} (open at https://ui.perfetto.dev)")
     if args.profile:
         from repro.perf import profile_run
 
@@ -187,6 +201,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_case.add_argument("--profile", action="store_true",
                         help="re-run the case under cProfile and print "
                              "the hottest functions")
+    p_case.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Perfetto/Chrome-trace JSON timeline "
+                             "of the run to PATH")
+    p_case.add_argument("--report", action="store_true",
+                        help="print the per-task/per-link bottleneck report")
     p_case.set_defaults(fn=cmd_case)
 
     p_rr = sub.add_parser("roundrobin", help="Section 2 baseline")

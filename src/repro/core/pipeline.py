@@ -36,6 +36,7 @@ from repro.des import Simulator
 from repro.errors import ConfigurationError
 from repro.machine import Machine, afrl_paragon
 from repro.mpi import World
+from repro.obs import TraceSink
 from repro.perf import PerfReport, snapshot_counters
 from repro.radar.datacube import CPIStream
 from repro.radar.parameters import STAPParams
@@ -64,6 +65,9 @@ class PipelineResult:
     #: Simulator wall-clock report; only set when the pipeline was built
     #: with ``perf=True``.
     perf: Optional[PerfReport] = None
+    #: Observability sink (spans, message records, link stats); only set
+    #: when the pipeline was built with ``trace=True`` or a sink.
+    trace: Optional[TraceSink] = None
 
 
 class STAPPipeline:
@@ -84,6 +88,7 @@ class STAPPipeline:
         double_buffering: bool = True,
         collect_training: bool = True,
         perf: bool = False,
+        trace=False,
     ):
         """``input_rate``: CPIs/second delivered by the radar front-end
         (None = data always available; the pipeline self-paces, measuring
@@ -98,7 +103,15 @@ class STAPPipeline:
 
         ``perf``: attach a :class:`~repro.perf.PerfReport` (simulator
         wall-clock cost) to the result.  Off by default; when off, the
-        run path does not touch the host clock at all."""
+        run path does not touch the host clock at all.
+
+        ``trace``: observability.  ``True`` attaches a fresh
+        :class:`~repro.obs.TraceSink`; a sink instance is used as-is
+        (e.g. a bounded one).  The sink records the span tree of every
+        task iteration, per-message MPI lifecycles, and per-link network
+        stats — purely passively, so modeled timestamps are identical
+        with tracing on or off.  Off by default (one ``is None`` check
+        per iteration/message/transfer)."""
         if mode not in ("modeled", "functional"):
             raise ConfigurationError(f"mode must be 'modeled' or 'functional', got {mode!r}")
         if num_cpis < 1:
@@ -129,6 +142,12 @@ class STAPPipeline:
         self.double_buffering = double_buffering
         self.collect_training = collect_training
         self.perf = perf
+        if trace is True:
+            self.trace_sink: Optional[TraceSink] = TraceSink()
+        elif trace:
+            self.trace_sink = trace
+        else:
+            self.trace_sink = None
         self.layout = PipelineLayout(
             params, assignment, collect_training=collect_training
         )
@@ -158,6 +177,7 @@ class STAPPipeline:
             functional=self.functional,
             weight_delay=self.azimuth_cycle,
             double_buffering=self.double_buffering,
+            obs=self.trace_sink,
         )
         cost = self.machine.network_cost
         pack = self.machine.packing_cost
@@ -198,6 +218,20 @@ class STAPPipeline:
         )
         collector = Collector()
         tasks = self._build_tasks(collector)
+        sink = self.trace_sink
+        if sink is not None:
+            sink.bind(sim)
+            world.obs = sink
+            world.network.obs = sink
+            sink.meta.update(
+                label=f"{self.assignment.name or 'pipeline'} [{self.mode}]",
+                num_cpis=self.num_cpis,
+                contention=self.contention,
+                ranks={
+                    world_rank: f"{task.name}[{task.local_rank}]"
+                    for world_rank, task in tasks.items()
+                },
+            )
         for world_rank, task in tasks.items():
             world.spawn(
                 world_rank,
@@ -221,6 +255,8 @@ class STAPPipeline:
             sim.run()
             perf_report = None
 
+        if sink is not None:
+            sink.meta["makespan"] = sim.now
         metrics = self._aggregate(collector)
         reports = self._reports(collector)
         return PipelineResult(
@@ -233,6 +269,7 @@ class STAPPipeline:
             network_messages=world.network.messages_sent,
             network_bytes=world.network.bytes_sent,
             perf=perf_report,
+            trace=sink,
         )
 
     @staticmethod
@@ -241,6 +278,25 @@ class STAPPipeline:
             return task.run(ctx)
 
         return program
+
+    def _clone(self, input_rate=None, trace=False) -> "STAPPipeline":
+        """A pipeline with identical configuration (used by run_measured)."""
+        return STAPPipeline(
+            self.params,
+            self.assignment,
+            machine=self.machine,
+            mode=self.mode,
+            stream=self.stream,
+            num_cpis=self.num_cpis,
+            contention=self.contention,
+            azimuth_cycle=self.azimuth_cycle,
+            steering=self.steering,
+            input_rate=input_rate if input_rate is not None else self.input_rate,
+            double_buffering=self.double_buffering,
+            collect_training=self.collect_training,
+            perf=self.perf,
+            trace=trace,
+        )
 
     # -- measurement -------------------------------------------------------------------
     def _aggregate(self, collector: Collector) -> PipelineMetrics:
@@ -278,23 +334,15 @@ class STAPPipeline:
         re-runs with that input rate and reports both numbers — the
         methodology behind the paper's Table 8 "real" rows.
         """
-        probe = self.run()
+        sink = self.trace_sink
+        if sink is None:
+            probe = self.run()
+        else:
+            # Trace the paced (reported) run, not the probe: one sink must
+            # describe one run or its timestamps would restart mid-stream.
+            probe = self._clone(trace=False).run()
         throughput = probe.metrics.measured_throughput
-        paced = STAPPipeline(
-            self.params,
-            self.assignment,
-            machine=self.machine,
-            mode=self.mode,
-            stream=self.stream,
-            num_cpis=self.num_cpis,
-            contention=self.contention,
-            azimuth_cycle=self.azimuth_cycle,
-            steering=self.steering,
-            input_rate=throughput,
-            double_buffering=self.double_buffering,
-            collect_training=self.collect_training,
-            perf=self.perf,
-        )
+        paced = self._clone(input_rate=throughput, trace=sink if sink else False)
         result = paced.run()
         # The paced run's throughput is capped by its own input; report the
         # probe's (peak) throughput with the paced latency.

@@ -77,6 +77,25 @@ def edge_tag(edge_name: str, cpi_index: int) -> int:
     return cpi_index * TAG_STRIDE + TAG_CODES[edge_name]
 
 
+#: Inverse of :data:`TAG_CODES`, for decoding observed message tags.
+_EDGE_OF_CODE = {code: name for name, code in TAG_CODES.items()}
+
+
+def edge_of_tag(tag: int) -> tuple:
+    """Decode an MPI tag back to ``(edge_name, cpi_index)``.
+
+    The observability layer uses this to label recorded messages with the
+    pipeline edge they belong to; unknown codes (non-pipeline traffic)
+    decode to ``(None, None)``.
+    """
+    if tag < 0:
+        return None, None
+    edge = _EDGE_OF_CODE.get(tag % TAG_STRIDE)
+    if edge is None:
+        return None, None
+    return edge, tag // TAG_STRIDE
+
+
 #: Shared empty result for ranks with no messages on an edge.
 _NO_MESSAGES: tuple = ()
 

@@ -82,6 +82,11 @@ class PipelineTask(abc.ABC):
     name: str = ""
     #: Kernel class for the machine model's rate table.
     kernel: str = "default"
+    #: Whether this task's spans sit on the equation (2) latency path.
+    #: The weight tasks override this to False: their output feeds a
+    #: *later* CPI (temporal dependency TD(1,3)), so their time never
+    #: contributes to a CPI's input-to-report latency.
+    latency_path: bool = True
 
     def __init__(
         self,
@@ -92,6 +97,7 @@ class PipelineTask(abc.ABC):
         functional: bool,
         weight_delay: int = 1,
         double_buffering: bool = True,
+        obs=None,
     ):
         self.layout = layout
         self.params = layout.params
@@ -108,6 +114,10 @@ class PipelineTask(abc.ABC):
         #: drained before the iteration ends, so communication no longer
         #: overlaps computation.
         self.double_buffering = double_buffering
+        #: Optional :class:`~repro.obs.TraceSink`; when attached, every
+        #: iteration records its span tree (one ``is None`` check per
+        #: iteration when off — the timestamps are read either way).
+        self._obs = obs
         # Per-edge lookups reused every iteration (lazily built: an edge's
         # receive sources and unpack charge are static for a given rank).
         self._recv_sources_cache: Dict[str, list] = {}
@@ -266,6 +276,18 @@ class PipelineTask(abc.ABC):
                 self.name,
                 TaskTiming(cpi_index=cpi, rank=self.local_rank, t0=t0, t1=t1, t2=t2, t3=t3),
             )
+            if self._obs is not None:
+                self._obs.record_iteration(
+                    self.name,
+                    self.local_rank,
+                    ctx.world_rank,
+                    cpi,
+                    t0,
+                    t1,
+                    t2,
+                    t3,
+                    latency_path=self.latency_path,
+                )
             self.on_iteration_end(cpi, t3)
         # Drain the final iteration's sends before exiting.
         if prev_sends:

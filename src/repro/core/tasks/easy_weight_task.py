@@ -23,6 +23,8 @@ from repro.stap.flops import easy_weight_flops
 class EasyWeightTask(PipelineTask):
     name = "easy_weight"
     kernel = "easy_weight"
+    # Weights feed CPI i + weight_delay (TD(1,3)): off the latency path.
+    latency_path = False
 
     def __init__(self, *args, steering=None, **kwargs):
         super().__init__(*args, **kwargs)

@@ -27,6 +27,8 @@ from repro.stap.lsq import qr_append_rows, solve_constrained
 class HardWeightTask(PipelineTask):
     name = "hard_weight"
     kernel = "hard_weight"
+    # Weights feed CPI i + weight_delay (TD(2,4)): off the latency path.
+    latency_path = False
 
     def __init__(self, *args, steering=None, **kwargs):
         super().__init__(*args, **kwargs)

@@ -3,10 +3,22 @@
 A :class:`Tracer` records one :class:`TraceRecord` per processed event.
 Traces are optional (off by default — they roughly double event cost) and
 are used by tests that assert causal ordering and by debugging utilities.
+
+Paper-scale runs process ~10^6 events, so an unbounded trace can exhaust
+memory.  Two bounded modes cap it:
+
+``mode="drop"`` (default with ``max_records``)
+    Keep the *first* ``max_records`` events, count the rest in
+    ``dropped`` — right for inspecting a run's startup.
+``mode="ring"``
+    Keep the *last* ``max_records`` events (a ring buffer), counting
+    overwritten ones — right for post-mortem debugging, where the events
+    just before a deadlock or crash are the interesting ones.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -26,19 +38,35 @@ class TraceRecord:
 class Tracer:
     """Accumulates :class:`TraceRecord` entries as the simulation runs."""
 
-    def __init__(self, max_records: int | None = None):
-        self.records: list[TraceRecord] = []
+    def __init__(self, max_records: int | None = None, mode: str = "drop"):
+        if mode not in ("drop", "ring"):
+            raise ValueError(f"mode must be 'drop' or 'ring', got {mode!r}")
+        self.mode = mode
         self.max_records = max_records
+        if mode == "ring" and max_records is not None:
+            self.records: "deque[TraceRecord] | list[TraceRecord]" = deque(
+                maxlen=max_records
+            )
+        else:
+            self.records = []
+        #: Records not retained: overflow past ``max_records`` in drop
+        #: mode; overwritten oldest entries in ring mode.
         self.dropped = 0
 
     def record(self, time: float, event) -> None:
         """Called by the engine for each processed event."""
         if self.max_records is not None and len(self.records) >= self.max_records:
             self.dropped += 1
-            return
+            if self.mode == "drop":
+                return
+            # Ring mode: deque(maxlen) evicts the oldest on append.
         self.records.append(
             TraceRecord(time=time, kind=type(event).__name__, name=event.name or "")
         )
+
+    def clear(self) -> None:
+        """Forget all retained records (the drop counter is kept)."""
+        self.records.clear()
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
@@ -52,4 +80,5 @@ class Tracer:
 
     def times_are_monotone(self) -> bool:
         """True iff record times never decrease (a core engine invariant)."""
-        return all(b.time >= a.time for a, b in zip(self.records, self.records[1:]))
+        pairs = zip(self.records, list(self.records)[1:])
+        return all(b.time >= a.time for a, b in pairs)

@@ -1,8 +1,14 @@
-"""Parameter sweeps: Figure 11 series and machine-size scalability curves."""
+"""Parameter sweeps: Figure 11 series and machine-size scalability curves.
+
+Both sweep runners accept ``trace_dir``: when given, every point's run is
+traced and a Perfetto timeline named after the point is written there, so
+a whole sweep's timelines can be diffed side by side.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.assignment import Assignment, TASK_NAMES
@@ -11,6 +17,20 @@ from repro.errors import ConfigurationError
 from repro.machine import Machine
 from repro.radar.parameters import STAPParams
 from repro.scheduling import AnalyticPipelineModel, optimize_throughput
+
+
+def _maybe_write_trace(result, pipeline, trace_dir, point_name: str) -> None:
+    """Write one sweep point's timeline when ``trace_dir`` is set."""
+    if trace_dir is None or result.trace is None:
+        return
+    from repro.obs import write_chrome_trace
+
+    directory = Path(trace_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_chrome_trace(
+        result.trace, directory / f"{point_name}.trace.json",
+        mesh=pipeline.machine.mesh,
+    )
 
 #: Case-2 node counts used for the tasks *not* being swept.
 _BASE_COUNTS = {
@@ -44,6 +64,7 @@ def speedup_series(
     num_cpis: int = 25,
     machine: Optional[Machine] = None,
     params: Optional[STAPParams] = None,
+    trace_dir=None,
 ) -> list[SpeedupPoint]:
     """Figure 11: computation time & speedup of one task vs its node count.
 
@@ -61,12 +82,15 @@ def speedup_series(
     for nodes in node_counts:
         counts = dict(_BASE_COUNTS)
         counts[task] = nodes
-        result = STAPPipeline(
+        pipeline = STAPPipeline(
             params,
             Assignment(name=f"sweep-{task}-{nodes}", **counts),
             machine=machine,
             num_cpis=num_cpis,
-        ).run()
+            trace=trace_dir is not None,
+        )
+        result = pipeline.run()
+        _maybe_write_trace(result, pipeline, trace_dir, f"sweep-{task}-{nodes}")
         comp = result.metrics.tasks[task].comp
         if base_comp is None:
             base_comp, base_nodes = comp, nodes
@@ -97,6 +121,7 @@ def scalability_curve(
     machine: Optional[Machine] = None,
     params: Optional[STAPParams] = None,
     measured: bool = True,
+    trace_dir=None,
 ) -> list[ScalabilityPoint]:
     """Throughput/latency vs total node budget, with optimized assignments.
 
@@ -111,9 +136,11 @@ def scalability_curve(
     for budget in budgets:
         assignment = optimize_throughput(model, budget)
         pipeline = STAPPipeline(
-            params, assignment, machine=machine, num_cpis=num_cpis
+            params, assignment, machine=machine, num_cpis=num_cpis,
+            trace=trace_dir is not None,
         )
         result = pipeline.run_measured() if measured else pipeline.run()
+        _maybe_write_trace(result, pipeline, trace_dir, f"budget-{budget}")
         curve.append(
             ScalabilityPoint(
                 budget=budget,

@@ -28,6 +28,9 @@ class Link:
     def reversed(self) -> "Link":
         return Link(self.dst, self.src)
 
+    def __str__(self) -> str:
+        return f"{self.src}->{self.dst}"
+
 
 class Mesh2D:
     """A ``width`` x ``height`` mesh; node ids are row-major.
@@ -110,6 +113,12 @@ class Mesh2D:
         for node in range(self.num_nodes):
             for nb in self.neighbors(node):
                 yield Link(node, nb)
+
+    def link_label(self, link: Link) -> str:
+        """Coordinate-form label, e.g. ``"(0,0)->(1,0)"`` (timeline tracks)."""
+        sx, sy = self.coords(link.src)
+        dx, dy = self.coords(link.dst)
+        return f"({sx},{sy})->({dx},{dy})"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Mesh2D({self.width}x{self.height}, {self.num_nodes} nodes)"

@@ -42,7 +42,7 @@ from repro.mpi.request import SendRequest, RecvRequest
 class _PendingSend:
     """A posted send waiting for its matching receive."""
 
-    __slots__ = ("request", "message", "src_world", "dst_world", "seq")
+    __slots__ = ("request", "message", "src_world", "dst_world", "seq", "record")
 
     def __init__(self, request, message, src_world, dst_world, seq):
         self.request = request
@@ -50,6 +50,9 @@ class _PendingSend:
         self.src_world = src_world
         self.dst_world = dst_world
         self.seq = seq
+        #: Observability record (post/match/complete stamps); None unless a
+        #: :class:`~repro.obs.TraceSink` is attached to the world.
+        self.record = None
 
 
 class World:
@@ -118,6 +121,11 @@ class World:
         #: Point-to-point operations posted (sends, receives).
         self.sends_posted = 0
         self.recvs_posted = 0
+        #: Optional :class:`~repro.obs.TraceSink` recording per-message
+        #: post -> match -> complete lifecycles.  Attached by the pipeline;
+        #: when None (the default) the matcher pays one ``is None`` check
+        #: per send and nothing else.
+        self.obs = None
         #: World communicator spanning every rank.
         self.comm = Communicator(self, list(range(num_ranks)))
 
@@ -168,6 +176,10 @@ class World:
         )
         pending = _PendingSend(request, message, src_world, dst_world, next(self._send_seq))
         self.sends_posted += 1
+        if self.obs is not None:
+            pending.record = self.obs.new_message(
+                src_world, dst_world, tag, nbytes, self.sim.now
+            )
         exact_key = (context_id, dst_world, src_world, tag)
         probes = 0
 
@@ -268,6 +280,10 @@ class World:
                 del self._send_keys[(context_id, dst_world)]
 
     def _start_transfer(self, pending: _PendingSend, recv_req: RecvRequest) -> None:
+        record = pending.record
+        if record is not None:
+            record.t_recv_post = recv_req.posted_at
+            record.t_match = self.sim.now
         placement = self.placement
         done = self.network.transfer(
             placement[pending.src_world],
@@ -278,6 +294,8 @@ class World:
         def _deliver(_event, pending=pending, recv_req=recv_req):
             message = pending.message
             message.delivered_at = self.sim.now
+            if pending.record is not None:
+                pending.record.t_complete = self.sim.now
             if recv_req.comm is not None:
                 # Translate world source rank to the receiver's local rank.
                 message.source = recv_req.comm._local_of_world.get(

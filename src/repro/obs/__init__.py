@@ -1,0 +1,51 @@
+"""repro.obs — end-to-end observability for pipeline simulations.
+
+The paper's entire evaluation is a timing decomposition: per-task
+``T_recv`` / ``T_comp`` / ``T_send`` per CPI (Tables 2-10), throughput and
+latency from equations (1)-(3).  This package makes those quantities
+first-class at run time instead of aggregate-only:
+
+* :class:`TraceSink` collects :class:`Span` trees (one iteration span per
+  task rank per CPI with recv/comp/send children), per-message
+  :class:`MessageRecord` lifecycles from the MPI matcher, and per-link
+  :class:`LinkStats` utilization/contention-wait from the network;
+* :func:`chrome_trace` / :func:`write_chrome_trace` export a
+  Perfetto-loadable timeline (one track per rank, one per network
+  resource);
+* :func:`build_report` produces the Table-style bottleneck report.
+
+Everything is **default-off and passive**: a run without a sink takes one
+``is None`` check per iteration/message, and an attached sink only reads
+timestamps the simulation already produced — modeled times are
+bit-identical either way (enforced by the golden-fastpath tests).
+
+Enable via ``STAPPipeline(..., trace=True)`` or the CLI's
+``repro-stap case --trace-out timeline.json --report``.
+"""
+
+from repro.obs.spans import (
+    ITERATION_PHASES,
+    LinkStats,
+    MessageRecord,
+    Span,
+    TraceSink,
+    bucket_bounds,
+    wait_bucket,
+)
+from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.report import EdgeTraffic, PipelineObsReport, build_report
+
+__all__ = [
+    "ITERATION_PHASES",
+    "Span",
+    "TraceSink",
+    "MessageRecord",
+    "LinkStats",
+    "wait_bucket",
+    "bucket_bounds",
+    "chrome_trace",
+    "write_chrome_trace",
+    "build_report",
+    "PipelineObsReport",
+    "EdgeTraffic",
+]

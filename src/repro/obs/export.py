@@ -1,0 +1,192 @@
+"""Timeline exporters: Chrome trace-event JSON, loadable in Perfetto.
+
+:func:`chrome_trace` renders a :class:`~repro.obs.spans.TraceSink` as the
+Chrome trace-event format (the JSON flavour https://ui.perfetto.dev opens
+directly):
+
+* **pid 1 — "ranks"**: one track (tid = world rank) per simulated rank,
+  with nested complete ("X") events for every iteration and its
+  recv/comp/send phases;
+* **pid 2 — "network"**: one track per interconnect resource (injection /
+  ejection port, or mesh link under LINKS contention), with one busy
+  interval per transfer that held it;
+* **pid 3 — "messages"**: async ("b"/"e") events per point-to-point
+  message on the destination rank's track, named by pipeline edge, from
+  send-post to delivery.
+
+Timestamps are microseconds of simulated time; events are sorted by
+``(ts, -dur)`` so every track is monotone and parents precede their
+same-timestamp children (the nesting Perfetto's stack view needs).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.spans import TraceSink
+
+#: Process ids of the exported track groups.
+PID_RANKS = 1
+PID_NETWORK = 2
+PID_MESSAGES = 3
+
+
+def _us(seconds: float) -> float:
+    """Simulated seconds -> trace microseconds (ns-rounded)."""
+    return round(seconds * 1e6, 3)
+
+
+def _edge_label(tag: int) -> str:
+    """Human label for a message tag: its pipeline edge name, if any."""
+    from repro.core.redistribution import edge_of_tag
+
+    edge, cpi = edge_of_tag(tag)
+    if edge is None:
+        return f"tag {tag}"
+    return f"{edge} cpi={cpi}"
+
+
+def chrome_trace(sink: TraceSink, mesh=None) -> dict:
+    """Render a sink as a Chrome trace-event JSON document (a dict).
+
+    ``mesh`` (a :class:`~repro.machine.mesh.Mesh2D`) prettifies link track
+    names with mesh coordinates when given.
+    """
+    events: list[dict] = []
+    meta: list[dict] = []
+
+    meta.append(_process_name(PID_RANKS, "ranks"))
+    meta.append(_process_name(PID_NETWORK, "network"))
+    meta.append(_process_name(PID_MESSAGES, "messages"))
+
+    # -- rank tracks ------------------------------------------------------------
+    rank_names = sink.meta.get("ranks", {})
+    seen_ranks = set()
+    for span in sink.spans:
+        tid = span.rank if span.rank >= 0 else 0
+        if tid not in seen_ranks:
+            seen_ranks.add(tid)
+            label = rank_names.get(tid, f"rank {tid}")
+            meta.append(_thread_name(PID_RANKS, tid, f"{label} @rank{tid}"))
+        events.append(
+            {
+                "name": f"{span.task}:{span.phase}" if span.phase else span.task,
+                "cat": "task" if span.latency_path else "weight",
+                "ph": "X",
+                "ts": _us(span.start),
+                "dur": _us(span.duration),
+                "pid": PID_RANKS,
+                "tid": tid,
+                "args": {
+                    "cpi": span.cpi,
+                    "task": span.task,
+                    "local_rank": span.local_rank,
+                    "latency_path": span.latency_path,
+                },
+            }
+        )
+
+    # -- link tracks ------------------------------------------------------------
+    for tid, name in enumerate(sorted(sink.link_intervals)):
+        label = _pretty_link(name, mesh)
+        meta.append(_thread_name(PID_NETWORK, tid, label))
+        for start, end, nbytes in sink.link_intervals[name]:
+            events.append(
+                {
+                    "name": label,
+                    "cat": "link",
+                    "ph": "X",
+                    "ts": _us(start),
+                    "dur": _us(end - start),
+                    "pid": PID_NETWORK,
+                    "tid": tid,
+                    "args": {"bytes": nbytes},
+                }
+            )
+
+    # -- message async events ------------------------------------------------------
+    for msg_id, record in enumerate(sink.messages):
+        if math.isnan(record.t_complete):
+            continue  # still in flight at run end
+        name = _edge_label(record.tag)
+        common = {
+            "cat": "message",
+            "id": msg_id,
+            "pid": PID_MESSAGES,
+            "tid": record.dst,
+        }
+        events.append(
+            {
+                **common,
+                "name": name,
+                "ph": "b",
+                "ts": _us(record.t_send_post),
+                "args": {
+                    "src": record.src,
+                    "dst": record.dst,
+                    "tag": record.tag,
+                    "bytes": record.nbytes,
+                    "t_match": _us(record.t_match),
+                },
+            }
+        )
+        events.append(
+            {**common, "name": name, "ph": "e", "ts": _us(record.t_complete)}
+        )
+    message_ranks = {r.dst for r in sink.messages}
+    for tid in sorted(message_ranks):
+        label = rank_names.get(tid, f"rank {tid}")
+        meta.append(_thread_name(PID_MESSAGES, tid, f"to {label}"))
+
+    events.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "label": sink.meta.get("label", ""),
+            "num_cpis": sink.meta.get("num_cpis"),
+            "contention": sink.meta.get("contention"),
+            "makespan_s": sink.meta.get("makespan"),
+            "dropped_spans": sink.dropped_spans,
+            "dropped_messages": sink.dropped_messages,
+            "dropped_link_intervals": sink.dropped_link_intervals,
+        },
+    }
+
+
+def write_chrome_trace(sink: TraceSink, path, mesh=None) -> Path:
+    """Write :func:`chrome_trace` output as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(sink, mesh=mesh)) + "\n")
+    return path
+
+
+# -- helpers ------------------------------------------------------------------------
+def _process_name(pid: int, name: str) -> dict:
+    return {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}}
+
+
+def _thread_name(pid: int, tid: int, name: str) -> dict:
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def _pretty_link(resource_name: str, mesh=None) -> str:
+    """Annotate ``link[a->b]`` resource names with mesh coordinates."""
+    if mesh is None or not resource_name.startswith("link["):
+        return resource_name
+    try:
+        src, dst = resource_name[5:-1].split("->")
+        sx, sy = mesh.coords(int(src))
+        dx, dy = mesh.coords(int(dst))
+    except Exception:  # pragma: no cover - unparseable name stays as-is
+        return resource_name
+    return f"link ({sx},{sy})->({dx},{dy})"

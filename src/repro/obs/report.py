@@ -1,0 +1,257 @@
+"""The bottleneck report: the paper's Table-style breakdown from a trace.
+
+Rebuilds per-task ``T_recv`` / ``T_comp`` / ``T_send`` from the recorded
+span tree — using the exact timestamps and the exact steady-state
+aggregation the pipeline's own metrics use, so the report's numbers match
+``PipelineMetrics`` to the last bit — then layers on what only the trace
+knows: which stage limits throughput and how busy it is, which tasks are
+starved, where the interconnect queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Optional
+
+from repro.core.assignment import TASK_NAMES
+from repro.core.metrics import PipelineMetrics, TaskMetrics, TaskTiming, steady_state_slice
+from repro.obs.spans import LinkStats, TraceSink
+from repro.scheduling.bottleneck import BottleneckReport, analyze_bottleneck
+
+
+@dataclass
+class EdgeTraffic:
+    """Aggregate message traffic of one pipeline edge."""
+
+    edge: str
+    messages: int = 0
+    nbytes: int = 0
+    #: Mean post-to-delivery time per message (seconds).
+    mean_seconds: float = 0.0
+
+
+@dataclass
+class PipelineObsReport:
+    """Everything the bottleneck report knows about one traced run."""
+
+    #: Table 7-style per-task breakdown, rebuilt from spans.
+    tasks: Dict[str, TaskMetrics]
+    metrics: PipelineMetrics
+    diagnosis: BottleneckReport
+    #: Work/(pipeline period) of the throughput-limiting stage.
+    bottleneck_utilization: float
+    edges: List[EdgeTraffic] = field(default_factory=list)
+    #: Busiest interconnect resources, by busy time.
+    hot_links: List[LinkStats] = field(default_factory=list)
+    label: str = ""
+    num_cpis: int = 0
+    makespan: float = 0.0
+    contention: str = ""
+
+    def text(self) -> str:
+        """The plain-text report."""
+        lines = [self.metrics.table(f"=== bottleneck report: {self.label} ===")]
+        lines.append("")
+        lines.append(self.diagnosis.summary())
+        lines.append(
+            f"bottleneck stage utilization: "
+            f"{100 * self.bottleneck_utilization:.1f}% of the pipeline period"
+        )
+        if self.edges:
+            lines.append("")
+            lines.append(f"{'edge':<22} {'msgs':>7} {'MiB':>9} {'mean ms':>9}")
+            for e in self.edges:
+                lines.append(
+                    f"{e.edge:<22} {e.messages:>7} {e.nbytes / 2**20:>9.2f} "
+                    f"{e.mean_seconds * 1e3:>9.3f}"
+                )
+        if self.hot_links:
+            lines.append("")
+            lines.append(
+                f"hottest interconnect resources ({self.contention} contention):"
+            )
+            lines.append(
+                f"{'resource':<22} {'msgs':>7} {'busy %':>7} {'wait ms':>9}"
+            )
+            for s in self.hot_links:
+                busy_pct = 100 * s.utilization(self.makespan)
+                lines.append(
+                    f"{s.name:<22} {s.messages:>7} {busy_pct:>6.1f}% "
+                    f"{s.wait_seconds * 1e3:>9.2f}"
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view of the report."""
+        return {
+            "label": self.label,
+            "num_cpis": self.num_cpis,
+            "makespan_s": self.makespan,
+            "contention": self.contention,
+            "tasks": {
+                name: {
+                    "nodes": m.num_nodes,
+                    "recv": m.recv,
+                    "comp": m.comp,
+                    "send": m.send,
+                    "total": m.total,
+                }
+                for name, m in self.tasks.items()
+            },
+            "throughput_cpis_per_s": self.metrics.measured_throughput,
+            "latency_s": self.metrics.measured_latency,
+            "bottleneck": {
+                "task": self.diagnosis.bottleneck_task,
+                "work_seconds": self.diagnosis.bottleneck_seconds,
+                "utilization": self.bottleneck_utilization,
+                "starved_tasks": list(self.diagnosis.starved_tasks),
+            },
+            "edges": [
+                {
+                    "edge": e.edge,
+                    "messages": e.messages,
+                    "bytes": e.nbytes,
+                    "mean_seconds": e.mean_seconds,
+                }
+                for e in self.edges
+            ],
+            "hot_links": [
+                {
+                    "name": s.name,
+                    "messages": s.messages,
+                    "bytes": s.nbytes,
+                    "busy_seconds": s.busy_seconds,
+                    "wait_seconds": s.wait_seconds,
+                    "wait_histogram": dict(s.wait_histogram),
+                }
+                for s in self.hot_links
+            ],
+        }
+
+
+def _timings_from_spans(sink: TraceSink) -> Dict[str, List[TaskTiming]]:
+    """Reconstruct per-task :class:`TaskTiming` rows from the span tree."""
+    # (task, local_rank, cpi) -> {phase: span}
+    phases: Dict[tuple, dict] = {}
+    for span in sink.spans:
+        if span.phase in ("recv", "comp", "send") and span.cpi >= 0:
+            phases.setdefault((span.task, span.local_rank, span.cpi), {})[
+                span.phase
+            ] = span
+    timings: Dict[str, List[TaskTiming]] = {}
+    for (task, local_rank, cpi), by_phase in phases.items():
+        if len(by_phase) != 3:
+            continue  # incomplete iteration (dropped spans)
+        timings.setdefault(task, []).append(
+            TaskTiming(
+                cpi_index=cpi,
+                rank=local_rank,
+                t0=by_phase["recv"].start,
+                t1=by_phase["comp"].start,
+                t2=by_phase["send"].start,
+                t3=by_phase["send"].end,
+            )
+        )
+    return timings
+
+
+def _metrics_from_spans(
+    sink: TraceSink, num_cpis: int
+) -> tuple[Dict[str, TaskMetrics], PipelineMetrics]:
+    """Per-task metrics and end-to-end measurements, from spans alone."""
+    timings = _timings_from_spans(sink)
+    rank_counts = {
+        task: len({t.rank for t in rows}) for task, rows in timings.items()
+    }
+    task_metrics = {
+        task: TaskMetrics.aggregate(task, rank_counts[task], rows, num_cpis)
+        for task, rows in timings.items()
+    }
+
+    lo, hi = steady_state_slice(num_cpis)
+    # Input availability: earliest Doppler iteration start per CPI; report
+    # completion: latest CFAR iteration end per CPI — the same event pair
+    # the collector stamps.
+    starts: Dict[int, float] = {}
+    dones: Dict[int, float] = {}
+    for span in sink.spans:
+        if span.phase != "iteration":
+            continue
+        if span.task == "doppler":
+            if span.cpi not in starts or span.start < starts[span.cpi]:
+                starts[span.cpi] = span.start
+        elif span.task == "cfar":
+            if span.cpi not in dones or span.end > dones[span.cpi]:
+                dones[span.cpi] = span.end
+    done = [dones[i] for i in range(lo, hi) if i in dones]
+    start = [starts[i] for i in range(lo, hi) if i in starts]
+    if len(done) >= 2:
+        throughput = (len(done) - 1) / (done[-1] - done[0])
+    else:
+        throughput = float("nan")
+    latency = mean(d - s for d, s in zip(done, start)) if done else float("nan")
+    return task_metrics, PipelineMetrics(
+        tasks=task_metrics,
+        measured_throughput=throughput,
+        measured_latency=latency,
+    )
+
+
+def _edge_traffic(sink: TraceSink) -> List[EdgeTraffic]:
+    from repro.core.redistribution import edge_of_tag
+
+    by_edge: Dict[str, EdgeTraffic] = {}
+    sums: Dict[str, float] = {}
+    for record in sink.messages:
+        edge, _cpi = edge_of_tag(record.tag)
+        if edge is None:
+            edge = "(other)"
+        traffic = by_edge.get(edge)
+        if traffic is None:
+            traffic = by_edge[edge] = EdgeTraffic(edge)
+            sums[edge] = 0.0
+        traffic.messages += 1
+        traffic.nbytes += record.nbytes
+        lifetime = record.t_complete - record.t_send_post
+        if lifetime == lifetime:  # not NaN
+            sums[edge] += lifetime
+    for edge, traffic in by_edge.items():
+        if traffic.messages:
+            traffic.mean_seconds = sums[edge] / traffic.messages
+    order = {name: i for i, name in enumerate(TASK_NAMES)}
+    return sorted(by_edge.values(), key=lambda t: (t.edge not in order, t.edge))
+
+
+def build_report(
+    sink: TraceSink,
+    num_cpis: Optional[int] = None,
+    top_links: int = 8,
+) -> PipelineObsReport:
+    """Build the bottleneck report from a traced run's sink."""
+    num_cpis = num_cpis if num_cpis is not None else int(sink.meta.get("num_cpis", 0))
+    task_metrics, metrics = _metrics_from_spans(sink, num_cpis)
+    diagnosis = analyze_bottleneck(metrics)
+    period = (
+        1.0 / metrics.measured_throughput
+        if metrics.measured_throughput and metrics.measured_throughput > 0
+        else float("nan")
+    )
+    utilization = (
+        diagnosis.bottleneck_seconds / period if period == period else float("nan")
+    )
+    hot = sorted(
+        sink.link_stats.values(), key=lambda s: s.busy_seconds, reverse=True
+    )[:top_links]
+    return PipelineObsReport(
+        tasks=task_metrics,
+        metrics=metrics,
+        diagnosis=diagnosis,
+        bottleneck_utilization=utilization,
+        edges=_edge_traffic(sink),
+        hot_links=hot,
+        label=str(sink.meta.get("label", "")),
+        num_cpis=num_cpis,
+        makespan=float(sink.meta.get("makespan", 0.0) or 0.0),
+        contention=str(sink.meta.get("contention", "")),
+    )

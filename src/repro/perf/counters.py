@@ -93,6 +93,23 @@ class PerfReport:
         )
 
     # -- output -----------------------------------------------------------------
+    def counters_dict(self) -> dict:
+        """Raw registered counters only (no derived rates, no label).
+
+        Every registered counter is present even when zero, so programmatic
+        before/after diffs see the full key set — a counter that silently
+        vanishes from the output reads as "unchanged" when it actually
+        dropped to zero.
+        """
+        return {
+            "events_processed": self.events_processed,
+            "match_probes": self.match_probes,
+            "sends_posted": self.sends_posted,
+            "recvs_posted": self.recvs_posted,
+            "network_messages": self.network_messages,
+            "network_bytes": self.network_bytes,
+        }
+
     def to_dict(self) -> dict:
         """JSON-serializable view (raw counters plus derived rates)."""
         return {
@@ -122,15 +139,16 @@ class PerfReport:
             f"events processed   {self.events_processed:10d}"
             f"   ({self.events_per_second:10.0f} events/s)",
         ]
+        # Zero-valued counters are printed, not omitted: a silent omission
+        # makes a before/after diff read as "unchanged" when the counter
+        # actually collapsed to zero.
         ops = self.sends_posted + self.recvs_posted
-        if ops:
-            lines.append(
-                f"p2p ops posted     {ops:10d}"
-                f"   ({self.probes_per_message:10.2f} match probes/op)"
-            )
-        if self.network_messages:
-            lines.append(
-                f"network messages   {self.network_messages:10d}"
-                f"   ({self.network_bytes / 2**20:10.1f} MiB on the wire)"
-            )
+        lines.append(
+            f"p2p ops posted     {ops:10d}"
+            f"   ({self.probes_per_message:10.2f} match probes/op)"
+        )
+        lines.append(
+            f"network messages   {self.network_messages:10d}"
+            f"   ({self.network_bytes / 2**20:10.1f} MiB on the wire)"
+        )
         return "\n".join(lines)

@@ -54,6 +54,50 @@ class TestTracer:
         assert len(tracer) == 3
         assert tracer.dropped > 0
 
+    def test_ring_mode_keeps_last_records(self):
+        tracer = Tracer(max_records=3, mode="ring")
+        sim = Simulator()
+        sim.tracer = tracer
+
+        def proc(sim):
+            for _ in range(10):
+                yield sim.timeout(0.5)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert len(tracer) == 3
+        assert tracer.dropped > 0
+        # Ring buffer retains the *latest* events: the final record is the
+        # last event processed, at the end of simulated time.
+        times = [r.time for r in tracer]
+        assert times == sorted(times)
+        assert times[-1] == sim.now
+        assert tracer.times_are_monotone()
+
+    def test_ring_and_drop_retain_opposite_ends(self):
+        def fill(tracer):
+            for i in range(6):
+                tracer.record(float(i), type("E", (), {"name": f"e{i}"})())
+            return [r.time for r in tracer.records]
+
+        assert fill(Tracer(max_records=2, mode="drop")) == [0.0, 1.0]
+        assert fill(Tracer(max_records=2, mode="ring")) == [4.0, 5.0]
+
+    def test_invalid_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Tracer(mode="spiral")
+
+    def test_clear_keeps_drop_counter(self):
+        tracer = Tracer(max_records=1)
+        tracer.record(0.0, type("E", (), {"name": "a"})())
+        tracer.record(1.0, type("E", (), {"name": "b"})())
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 1
+
     def test_iteration(self):
         sim = run_traced(2)
         assert list(iter(sim.tracer)) == sim.tracer.records

@@ -1,0 +1,140 @@
+"""Chrome-trace/Perfetto export: valid JSON, monotone tracks, metadata."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import Assignment, STAPParams, STAPPipeline
+from repro.obs import TraceSink, chrome_trace, write_chrome_trace
+
+pytestmark = pytest.mark.obs
+
+TINY_ASSIGNMENT = Assignment(3, 2, 2, 2, 2, 2, 2, name="export-test")
+
+
+@pytest.fixture(scope="module")
+def traced():
+    pipeline = STAPPipeline(
+        STAPParams.tiny(), TINY_ASSIGNMENT, num_cpis=2, trace=True
+    )
+    result = pipeline.run()
+    return pipeline, result
+
+
+@pytest.fixture(scope="module")
+def doc(traced) -> dict:
+    pipeline, result = traced
+    rendered = chrome_trace(result.trace, mesh=pipeline.machine.mesh)
+    # Round-trip through the serializer: the export must be plain JSON
+    # (no NaN/Infinity, which Perfetto's strict parser rejects).
+    return json.loads(json.dumps(rendered, allow_nan=False))
+
+
+class TestDocumentShape:
+    def test_top_level_keys(self, doc):
+        assert set(doc) >= {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["traceEvents"]
+
+    def test_other_data_carries_run_metadata(self, traced, doc):
+        _, result = traced
+        other = doc["otherData"]
+        assert other["label"].startswith("export-test")
+        assert other["num_cpis"] == 2
+        assert other["makespan_s"] == pytest.approx(result.makespan)
+        assert other["dropped_spans"] == 0
+        assert other["dropped_messages"] == 0
+
+    def test_event_phases_are_known(self, doc):
+        assert {e["ph"] for e in doc["traceEvents"]} <= {"M", "X", "b", "e"}
+
+
+class TestTracks:
+    def test_process_names_for_all_three_groups(self, doc):
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {"ranks", "network", "messages"}
+
+    def test_every_rank_track_is_named_after_its_task(self, traced, doc):
+        _, result = traced
+        rank_tracks = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == 1
+        }
+        assert len(rank_tracks) == TINY_ASSIGNMENT.total_nodes
+        expected = result.trace.meta["ranks"]
+        for tid, label in rank_tracks.items():
+            assert label.startswith(expected[tid])
+
+    def test_timestamps_monotone_per_track(self, doc):
+        last: dict = {}
+        for event in doc["traceEvents"]:
+            if event["ph"] == "M":
+                continue
+            key = (event["pid"], event["tid"])
+            assert event["ts"] >= last.get(key, -math.inf)
+            last[key] = event["ts"]
+
+    def test_durations_non_negative(self, doc):
+        for event in doc["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+
+    def test_span_events_cover_all_phases(self, doc):
+        names = {
+            e["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == 1
+        }
+        for phase in ("iteration", "recv", "comp", "send"):
+            assert f"doppler:{phase}" in names
+        # Weight spans are categorized off the latency path.
+        cats = {
+            e["name"]: e["cat"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == 1
+        }
+        assert cats["easy_weight:comp"] == "weight"
+        assert cats["doppler:comp"] == "task"
+
+    def test_message_events_pair_up(self, doc):
+        begins = [e for e in doc["traceEvents"] if e["ph"] == "b"]
+        ends = [e for e in doc["traceEvents"] if e["ph"] == "e"]
+        assert begins and len(begins) == len(ends)
+        by_id = {e["id"]: e["ts"] for e in begins}
+        for end in ends:
+            assert end["ts"] >= by_id[end["id"]]
+        # Edge labels resolve through the tag codec.
+        assert any("doppler->" in e["name"] or "cpi=" in e["name"]
+                   for e in begins)
+
+    def test_network_tracks_present(self, doc):
+        link_events = [
+            e for e in doc["traceEvents"] if e["ph"] == "X" and e["pid"] == 2
+        ]
+        assert link_events
+        for event in link_events:
+            assert event["args"]["bytes"] > 0
+
+
+class TestWriteChromeTrace:
+    def test_writes_loadable_json(self, traced, tmp_path):
+        pipeline, result = traced
+        path = write_chrome_trace(
+            result.trace, tmp_path / "timeline.json", mesh=pipeline.machine.mesh
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"]
+
+    def test_in_flight_messages_are_skipped(self):
+        sink = TraceSink()
+        sink.new_message(0, 1, 5, 64, 0.0)  # never matched nor delivered
+        doc = chrome_trace(sink)
+        assert not [e for e in doc["traceEvents"] if e["ph"] in ("b", "e")]
+        json.dumps(doc, allow_nan=False)  # still strictly valid JSON

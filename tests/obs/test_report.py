@@ -1,0 +1,114 @@
+"""The bottleneck report: span-derived numbers must match the pipeline's own."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Assignment, STAPParams, STAPPipeline
+from repro.core.assignment import TASK_NAMES
+from repro.obs import build_report
+from repro.scheduling.bottleneck import analyze_bottleneck
+
+pytestmark = pytest.mark.obs
+
+TINY_ASSIGNMENT = Assignment(3, 2, 2, 2, 2, 2, 2, name="report-test")
+NUM_CPIS = 4
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    return STAPPipeline(
+        STAPParams.tiny(), TINY_ASSIGNMENT, num_cpis=NUM_CPIS, trace=True
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def report(traced_result):
+    return build_report(traced_result.trace)
+
+
+class TestAgreesWithPipelineMetrics:
+    """The report is rebuilt from spans; it must agree with the collector."""
+
+    def test_per_task_breakdown_matches(self, traced_result, report):
+        assert set(report.tasks) == set(TASK_NAMES)
+        for name, expected in traced_result.metrics.tasks.items():
+            got = report.tasks[name]
+            assert got.num_nodes == expected.num_nodes
+            assert got.recv == pytest.approx(expected.recv, abs=1e-12)
+            assert got.comp == pytest.approx(expected.comp, abs=1e-12)
+            assert got.send == pytest.approx(expected.send, abs=1e-12)
+            assert got.total == pytest.approx(expected.total, abs=1e-12)
+
+    def test_throughput_and_latency_match(self, traced_result, report):
+        metrics = traced_result.metrics
+        assert report.metrics.measured_throughput == pytest.approx(
+            metrics.measured_throughput, rel=1e-12
+        )
+        assert report.metrics.measured_latency == pytest.approx(
+            metrics.measured_latency, rel=1e-12
+        )
+
+    def test_bottleneck_diagnosis_consistent(self, traced_result, report):
+        independent = analyze_bottleneck(traced_result.metrics)
+        assert report.diagnosis.bottleneck_task == independent.bottleneck_task
+        assert 0.0 < report.bottleneck_utilization <= 1.0 + 1e-9
+
+
+class TestEdgeTraffic:
+    def test_all_bytes_accounted_for(self, traced_result, report):
+        assert sum(e.nbytes for e in report.edges) == traced_result.network_bytes
+        assert (
+            sum(e.messages for e in report.edges)
+            == traced_result.network_messages
+        )
+
+    def test_edges_are_pipeline_edges(self, report):
+        from repro.core.redistribution import TAG_CODES
+
+        for edge in report.edges:
+            assert edge.edge in TAG_CODES or edge.edge == "(other)"
+            assert edge.mean_seconds > 0.0
+
+    def test_doppler_fanout_present(self, report):
+        names = {e.edge for e in report.edges}
+        assert any(name.startswith("dop_to_") for name in names)
+
+
+class TestRendering:
+    def test_text_report_content(self, report):
+        text = report.text()
+        assert "bottleneck report: report-test" in text
+        assert "bottleneck stage utilization" in text
+        for task in TASK_NAMES:
+            assert task in text
+        assert "edge" in text and "msgs" in text
+
+    def test_hot_links_listed(self, report):
+        # ENDPOINT contention (the default) holds inject/eject ports.
+        assert report.hot_links
+        text = report.text()
+        assert "hottest interconnect resources" in text
+
+    def test_to_dict_is_json_serializable(self, report):
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["label"].startswith("report-test")
+        assert data["num_cpis"] == NUM_CPIS
+        assert set(data["tasks"]) == set(TASK_NAMES)
+        assert data["bottleneck"]["task"] in TASK_NAMES
+        assert data["edges"]
+
+
+class TestExplicitNumCpis:
+    def test_override_matches_meta_default(self, traced_result):
+        by_meta = build_report(traced_result.trace)
+        explicit = build_report(traced_result.trace, num_cpis=NUM_CPIS)
+        assert explicit.metrics.measured_latency == pytest.approx(
+            by_meta.metrics.measured_latency
+        )
+
+    def test_top_links_limits_list(self, traced_result):
+        limited = build_report(traced_result.trace, top_links=2)
+        assert len(limited.hot_links) <= 2

@@ -138,6 +138,34 @@ class TestPerfReport:
         assert "events/s" in text
         assert "probes/op" in text
 
+    def test_counters_dict_has_every_registered_counter(self):
+        report = PerfReport(
+            wall_seconds=1.0, sim_seconds=2.0, num_cpis=5, events_processed=100
+        )
+        counters = report.counters_dict()
+        assert set(counters) == {
+            "events_processed",
+            "match_probes",
+            "sends_posted",
+            "recvs_posted",
+            "network_messages",
+            "network_bytes",
+        }
+        # Zero-valued counters are present, not omitted: a missing key would
+        # make a before/after diff read as "unchanged".
+        assert counters["network_messages"] == 0
+        assert counters["events_processed"] == 100
+        # No derived rates leak into the raw-counter view.
+        assert "events_per_second" not in counters
+
+    def test_summary_prints_zero_counters(self):
+        report = PerfReport(
+            wall_seconds=1.0, sim_seconds=2.0, num_cpis=5, events_processed=100
+        )
+        text = report.summary()
+        assert "p2p ops posted" in text
+        assert "network messages" in text
+
 
 class TestPipelineWiring:
     def test_perf_off_by_default(self):

@@ -61,6 +61,23 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table 7" in out and "throughput" in out
 
+    @pytest.mark.obs
+    def test_case_trace_out_and_report(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "timeline.json"
+        assert main([
+            "case", "--name", "case3", "--cpis", "6",
+            "--trace-out", str(out_path), "--report",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck report" in out
+        assert "bottleneck stage utilization" in out
+        assert "wrote timeline" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["num_cpis"] == 6
+
     def test_timeline(self, capsys):
         assert main(["timeline", "--name", "case3", "--cpis", "6",
                      "--width", "60"]) == 0
