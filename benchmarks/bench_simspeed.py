@@ -3,26 +3,30 @@
 Unlike the other benchmark modules this one reproduces no paper table —
 it tracks how fast the *simulator* chews through the paper-scale runs
 (Table 7's three assignments, 25 CPIs each), in wall-seconds per
-simulated CPI and events per second.  These are the figures the DES /
-SimMPI fast paths are graded on; regressions here make every other
-benchmark slower.
+simulated CPI and events per second, plus how much the batch executor
+(:mod:`repro.exec`) buys by fanning independent runs over worker
+processes.  These are the figures the DES / SimMPI fast paths and the
+executor are graded on; regressions here make every other benchmark
+slower.
 
 Run under pytest (needs pytest-benchmark)::
 
     pytest benchmarks/bench_simspeed.py
 
 or as a plain script, which writes ``BENCH_simspeed.json`` next to the
-repository root (the smoke configuration measures case 3 only and
-finishes well under a minute)::
+repository root with all three Table 7 cases in ``runs`` and a serial-vs-
+parallel executor comparison::
 
-    python benchmarks/bench_simspeed.py          # smoke: case 3
-    python benchmarks/bench_simspeed.py --full   # all three cases
+    python benchmarks/bench_simspeed.py             # all three cases
+    python benchmarks/bench_simspeed.py --jobs 4    # executor worker count
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -31,11 +35,33 @@ from repro import CASE1, CASE2, CASE3, STAPParams, STAPPipeline
 
 CASES = {"case1": CASE1, "case2": CASE2, "case3": CASE3}
 
+#: Measurement order: smallest first so a hang fails fast.
+CASE_ORDER = ("case3", "case2", "case1")
+
 #: CPIs per measured run, matching the paper's experiments.
 NUM_CPIS = 25
 
 #: Where the script mode drops its results.
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_simspeed.json"
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _merge_results(updates: dict) -> None:
+    """Merge one section into the results file without clobbering others."""
+    existing = {}
+    if RESULTS_PATH.exists():
+        try:
+            existing = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(updates)
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
 
 
 def measure_case(case_key: str, num_cpis: int = NUM_CPIS, trace: bool = False) -> dict:
@@ -55,6 +81,50 @@ def measure_case(case_key: str, num_cpis: int = NUM_CPIS, trace: bool = False) -
         throughput_cpis_per_s=result.metrics.measured_throughput,
     )
     return record
+
+
+def measure_all_cases() -> list[dict]:
+    """All three Table 7 cases, perf-instrumented, smallest first."""
+    return [measure_case(key) for key in CASE_ORDER]
+
+
+def measure_exec_comparison(jobs: int) -> dict:
+    """Per-case wall-clock of serial vs ``jobs``-wide executor passes.
+
+    Both passes use fresh caches so every point really simulates; the
+    parallel pass's per-case seconds are measured inside the workers.
+    """
+    from repro.exec import ResultCache, SimPoint, run_points
+
+    points = [
+        SimPoint(STAPParams.paper(), CASES[key], num_cpis=NUM_CPIS)
+        for key in CASE_ORDER
+    ]
+
+    def timed_pass(n_jobs: int) -> tuple[float, dict]:
+        start = time.perf_counter()
+        outcomes = run_points(points, jobs=n_jobs, cache=ResultCache())
+        wall = time.perf_counter() - start
+        per_case = {
+            key: outcome.elapsed for key, outcome in zip(CASE_ORDER, outcomes)
+        }
+        for outcome in outcomes:
+            outcome.unwrap()
+        return wall, per_case
+
+    serial_wall, serial_cases = timed_pass(1)
+    parallel_wall, parallel_cases = timed_pass(jobs)
+    return {
+        "jobs": jobs,
+        "usable_cpus": _usable_cpus(),
+        "serial_wall_seconds": serial_wall,
+        "parallel_wall_seconds": parallel_wall,
+        "speedup": serial_wall / parallel_wall if parallel_wall else 0.0,
+        "per_case": {
+            key: {"serial_s": serial_cases[key], "parallel_s": parallel_cases[key]}
+            for key in CASE_ORDER
+        },
+    }
 
 
 def _print_record(record: dict) -> None:
@@ -88,18 +158,84 @@ def test_simspeed_case(benchmark, case_key):
 
 @pytest.mark.bench_smoke
 def test_simspeed_smoke():
-    """Fast guard: case 3 at paper scale, well under a minute, JSON out."""
-    import time
-
+    """Fast guard: all three cases at paper scale, JSON out, under a minute."""
     t0 = time.perf_counter()
-    record = measure_case("case3")
+    runs = measure_all_cases()
     elapsed = time.perf_counter() - t0
     print()
-    _print_record(record)
-    RESULTS_PATH.write_text(json.dumps({"runs": [record]}, indent=2) + "\n")
+    for record in runs:
+        _print_record(record)
+    _merge_results({"runs": runs})
     print(f"wrote {RESULTS_PATH}")
+    assert {r["case"] for r in runs} == set(CASES)
     assert elapsed < 60.0, f"smoke benchmark took {elapsed:.1f}s (budget 60s)"
-    assert record["probes_per_message"] < 2.0
+    assert all(r["probes_per_message"] < 2.0 for r in runs)
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.exec
+def test_exec_sweep_smoke():
+    """The executor's acceptance sweep: 8 independent points, jobs=4.
+
+    Asserts bit-identical metrics between serial and parallel execution
+    and that a repeated sweep is answered entirely from the cache (zero
+    new simulations, counter-verified).  The >= 2x wall-clock speedup is
+    asserted only when the host actually has >= 4 usable CPUs — on fewer
+    cores the parallel pass cannot physically be faster, but the numbers
+    are still recorded.
+    """
+    from repro.exec import ResultCache
+    from repro.experiments import speedup_series
+    from repro.perf import exec_counters
+
+    node_counts = (2, 3, 4, 6, 8, 12, 16, 24)
+    jobs = 4
+    sweep = dict(num_cpis=NUM_CPIS)
+
+    t0 = time.perf_counter()
+    serial = speedup_series("cfar", node_counts, jobs=1, cache=ResultCache(), **sweep)
+    serial_wall = time.perf_counter() - t0
+
+    parallel_cache = ResultCache()
+    t0 = time.perf_counter()
+    parallel = speedup_series(
+        "cfar", node_counts, jobs=jobs, cache=parallel_cache, **sweep
+    )
+    parallel_wall = time.perf_counter() - t0
+
+    # Determinism: parallel results are bit-identical to serial ones.
+    assert parallel == serial
+
+    # Repeat: all cache hits, zero new simulations.
+    before = exec_counters.snapshot()
+    repeated = speedup_series(
+        "cfar", node_counts, jobs=jobs, cache=parallel_cache, **sweep
+    )
+    delta = exec_counters.delta_since(before)
+    assert repeated == parallel
+    assert delta["simulations_run"] == 0, delta
+    assert delta["cache_hits_memory"] == len(node_counts), delta
+
+    speedup = serial_wall / parallel_wall if parallel_wall else 0.0
+    cpus = _usable_cpus()
+    print()
+    print(f"exec sweep ({len(node_counts)} points): serial {serial_wall:6.2f} s, "
+          f"jobs={jobs} {parallel_wall:6.2f} s, speedup {speedup:.2f}x "
+          f"({cpus} usable CPUs)")
+    _merge_results({
+        "exec_sweep": {
+            "points": len(node_counts),
+            "jobs": jobs,
+            "usable_cpus": cpus,
+            "serial_wall_seconds": serial_wall,
+            "parallel_wall_seconds": parallel_wall,
+            "speedup": speedup,
+        }
+    })
+    if cpus >= 4:
+        assert speedup >= 2.0, (
+            f"jobs={jobs} sweep only {speedup:.2f}x faster on {cpus} CPUs"
+        )
 
 
 @pytest.mark.bench_smoke
@@ -113,7 +249,6 @@ def test_obs_overhead():
     must not pay for the layer's existence at all (that case is covered
     bit-exactly by the golden-fastpath tests; here we bound wall time).
     """
-    import time
 
     def timed(trace: bool) -> tuple[float, dict]:
         t0 = time.perf_counter()
@@ -131,33 +266,48 @@ def test_obs_overhead():
     # Generous bound: recording is passive, so even slow hosts stay far
     # below this; a 3x blowup means the layer grew onto the hot path.
     assert ratio < 3.0, f"observability overhead {ratio:.2f}x (budget 3x)"
-    # Merge into the results file without clobbering the smoke run's data.
-    existing = {}
-    if RESULTS_PATH.exists():
-        existing = json.loads(RESULTS_PATH.read_text())
-    existing["obs_overhead"] = {
-        "off_wall_seconds": off_s,
-        "on_wall_seconds": on_s,
-        "ratio": ratio,
-    }
-    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    _merge_results({
+        "obs_overhead": {
+            "off_wall_seconds": off_s,
+            "on_wall_seconds": on_s,
+            "ratio": ratio,
+        }
+    })
 
 
 # -- script entry point ----------------------------------------------------------
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    unknown = [a for a in argv if a != "--full"]
-    if unknown:
-        print(f"usage: {Path(__file__).name} [--full]", file=sys.stderr)
-        print(f"unknown arguments: {' '.join(unknown)}", file=sys.stderr)
+    jobs = min(4, _usable_cpus())
+    rest = list(argv)
+    if "--full" in rest:
+        rest.remove("--full")  # historical flag; all cases always run now
+    if "--jobs" in rest:
+        at = rest.index("--jobs")
+        try:
+            jobs = int(rest[at + 1])
+            del rest[at:at + 2]
+        except (IndexError, ValueError):
+            print("--jobs needs an integer argument", file=sys.stderr)
+            return 2
+    if rest:
+        print(f"usage: {Path(__file__).name} [--jobs N]", file=sys.stderr)
+        print(f"unknown arguments: {' '.join(rest)}", file=sys.stderr)
         return 2
-    keys = ["case3", "case2", "case1"] if "--full" in argv else ["case3"]
+
     runs = []
-    for key in keys:
+    for key in CASE_ORDER:
         record = measure_case(key)
         _print_record(record)
         runs.append(record)
-    RESULTS_PATH.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
+
+    comparison = measure_exec_comparison(jobs)
+    print(f"executor: serial {comparison['serial_wall_seconds']:6.2f} s, "
+          f"jobs={jobs} {comparison['parallel_wall_seconds']:6.2f} s, "
+          f"speedup {comparison['speedup']:.2f}x "
+          f"({comparison['usable_cpus']} usable CPUs)")
+
+    _merge_results({"runs": runs, "exec": comparison})
     print(f"wrote {RESULTS_PATH}")
     return 0
 

@@ -7,16 +7,17 @@ the paper-vs-measured rows, and records headline numbers in the
 pytest-benchmark ``extra_info`` so they land in the benchmark report.
 
 Full-pipeline simulations at 118-236 ranks take seconds each, so results
-are memoized per assignment across benchmark modules (Table 2's 8-node
-column is Table 7 case 3's Doppler count, etc.).
+are memoized across benchmark modules through the content-addressed
+result cache of :mod:`repro.exec` (Table 2's 8-node column is Table 7
+case 3's Doppler count, etc.) — the cache keys on node counts, not
+assignment names, so differently-named but physically identical
+configurations share one simulation.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
-from repro import Assignment, STAPParams, STAPPipeline
-from repro.core.pipeline import PipelineResult
+from repro import Assignment, STAPParams
+from repro.exec import PointResult, SimPoint, execute_point
 
 #: CPIs per measured run, as in the paper ("A total of 25 CPI complex data
 #: cubes were generated as inputs").
@@ -27,14 +28,14 @@ def paper_params() -> STAPParams:
     return STAPParams.paper()
 
 
-@lru_cache(maxsize=64)
-def _run_cached(counts: tuple[int, ...], measured: bool) -> PipelineResult:
-    pipeline = STAPPipeline(
+def _run_cached(counts: tuple[int, ...], measured: bool) -> PointResult:
+    point = SimPoint(
         paper_params(),
         Assignment(*counts, name=f"bench{counts}"),
         num_cpis=NUM_CPIS,
+        measured=measured,
     )
-    return pipeline.run_measured() if measured else pipeline.run()
+    return execute_point(point)
 
 
 def run_assignment(
@@ -46,15 +47,15 @@ def run_assignment(
     pc: int,
     cfar: int,
     measured: bool = False,
-) -> PipelineResult:
-    """Simulate one assignment at paper scale (memoized)."""
+) -> PointResult:
+    """Simulate one assignment at paper scale (result-cached)."""
     return _run_cached(
         (doppler, easy_weight, hard_weight, easy_bf, hard_bf, pc, cfar), measured
     )
 
 
-def run_case(assignment: Assignment, measured: bool = True) -> PipelineResult:
-    """Simulate one of the named paper assignments (memoized)."""
+def run_case(assignment: Assignment, measured: bool = True) -> PointResult:
+    """Simulate one of the named paper assignments (result-cached)."""
     return _run_cached(assignment.counts(), measured)
 
 

@@ -9,6 +9,7 @@ Subcommands map onto the paper's experiments:
 ``optimize``   Section 4.1.2 — processor-assignment search
 ``detect``     functional demo — detections from synthetic data
 ``timeline``   ASCII Gantt of a pipeline run
+``sweep``      Figure 11 / scalability sweeps on the parallel executor
 =============  =====================================================
 
 Also runnable as ``python -m repro.cli``.
@@ -171,6 +172,49 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from repro.exec import ResultCache, set_default_cache
+    from repro.experiments import scalability_curve, speedup_series
+    from repro.perf import exec_counters
+
+    cache = None if args.no_cache else ResultCache(directory=args.cache_dir)
+    if cache is not None:
+        set_default_cache(cache)
+    before = exec_counters.snapshot()
+    if args.kind == "speedup":
+        nodes = [int(n) for n in args.nodes.split(",")]
+        series = speedup_series(
+            args.task, nodes, num_cpis=args.cpis, jobs=args.jobs, cache=cache,
+        )
+        print(f"=== Figure 11 series: {args.task} "
+              f"(jobs={args.jobs}, {len(series)} points) ===")
+        print(f"{'nodes':>6} {'comp (s)':>10} {'speedup':>9} "
+              f"{'ideal':>7} {'efficiency':>11}")
+        for point in series:
+            print(f"{point.nodes:>6} {point.comp_seconds:>10.4f} "
+                  f"{point.speedup:>9.3f} {point.ideal_speedup:>7.2f} "
+                  f"{point.efficiency:>11.3f}")
+    else:
+        budgets = [int(b) for b in args.budgets.split(",")]
+        curve = scalability_curve(
+            budgets, num_cpis=args.cpis, measured=args.measured,
+            jobs=args.jobs, cache=cache,
+        )
+        print(f"=== scalability curve (jobs={args.jobs}, "
+              f"{len(curve)} points) ===")
+        print(f"{'budget':>7} {'nodes':>6} {'throughput':>11} {'latency':>9}")
+        for point in curve:
+            print(f"{point.budget:>7} {point.assignment.total_nodes:>6} "
+                  f"{point.throughput:>11.4f} {point.latency:>9.4f}")
+    delta = exec_counters.delta_since(before)
+    hits = delta["cache_hits_memory"] + delta["cache_hits_disk"]
+    print(f"\nexecutor: {delta['points_submitted']} points, "
+          f"{delta['simulations_run']} simulated, {hits} from cache "
+          f"({delta['cache_hits_disk']} disk), "
+          f"{delta['point_errors']} errors")
+    return 0
+
+
 def cmd_timeline(args) -> int:
     assignment = NAMED_CASES[args.name]
     result = STAPPipeline(
@@ -239,6 +283,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--quick", action="store_true",
                        help="case 3 only, short runs")
     p_rep.set_defaults(fn=cmd_report)
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help="run an experiment sweep on the parallel executor",
+    )
+    p_sw.add_argument("--kind", choices=("speedup", "scalability"),
+                      default="speedup")
+    p_sw.add_argument("--task", default="cfar",
+                      help="swept task for --kind speedup")
+    p_sw.add_argument("--nodes", default="4,8,16",
+                      help="comma-separated node counts (speedup)")
+    p_sw.add_argument("--budgets", default="30,59,118",
+                      help="comma-separated node budgets (scalability)")
+    p_sw.add_argument("--cpis", type=int, default=25)
+    p_sw.add_argument("--measured", action="store_true",
+                      help="two-phase paced measurement per point "
+                           "(scalability)")
+    p_sw.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for independent points")
+    p_sw.add_argument("--cache-dir", metavar="PATH", default=None,
+                      help="persist results on disk (content-addressed)")
+    p_sw.add_argument("--no-cache", action="store_true",
+                      help="disable the result cache entirely")
+    p_sw.set_defaults(fn=cmd_sweep)
 
     p_tl = sub.add_parser("timeline", help="ASCII Gantt of a pipeline run")
     p_tl.add_argument("--name", choices=sorted(NAMED_CASES), default="case3")

@@ -142,12 +142,18 @@ class STAPPipeline:
         self.double_buffering = double_buffering
         self.collect_training = collect_training
         self.perf = perf
+        # Explicit identity checks: an *empty* TraceSink has ``__len__`` 0
+        # and is falsy, but a caller passing one still wants tracing.
         if trace is True:
             self.trace_sink: Optional[TraceSink] = TraceSink()
-        elif trace:
-            self.trace_sink = trace
-        else:
+        elif trace is False or trace is None:
             self.trace_sink = None
+        else:
+            self.trace_sink = trace
+        #: True when the steering matrix is the deterministic function of
+        #: ``params`` (lets run_measured's probe route through the result
+        #: cache; a caller-supplied steering matrix is not content-keyed).
+        self._default_steering = steering is None
         self.layout = PipelineLayout(
             params, assignment, collect_training=collect_training
         )
@@ -165,6 +171,12 @@ class STAPPipeline:
             self._cube_cache[cpi_index] = cube
             for old in [i for i in self._cube_cache if i <= cpi_index - _CUBE_CACHE_DEPTH]:
                 del self._cube_cache[old]
+            # The window eviction above only drops indices *behind* the
+            # newest request; an out-of-order request (an older CPI arriving
+            # after newer ones are cached) would otherwise grow the cache
+            # past its depth.  Enforce the bound explicitly.
+            while len(self._cube_cache) > _CUBE_CACHE_DEPTH:
+                del self._cube_cache[min(self._cube_cache)]
         return cube
 
     # -- construction ------------------------------------------------------------------
@@ -335,14 +347,28 @@ class STAPPipeline:
         methodology behind the paper's Table 8 "real" rows.
         """
         sink = self.trace_sink
-        if sink is None:
-            probe = self.run()
-        else:
-            # Trace the paced (reported) run, not the probe: one sink must
-            # describe one run or its timestamps would restart mid-stream.
-            probe = self._clone(trace=False).run()
-        throughput = probe.metrics.measured_throughput
-        paced = self._clone(input_rate=throughput, trace=sink if sink else False)
+        # Identical configurations probe to identical throughputs, so the
+        # probe is served by the content-addressed result cache when the
+        # configuration is coverable by its key (modeled mode, default
+        # steering); see repro.exec.probe_throughput.
+        from repro.exec import probe_throughput
+
+        throughput = probe_throughput(self)
+        if throughput is None:
+            if sink is None:
+                probe = self.run()
+            else:
+                # Trace the paced (reported) run, not the probe: one sink
+                # must describe one run or its timestamps would restart
+                # mid-stream.
+                probe = self._clone(trace=False).run()
+            throughput = probe.metrics.measured_throughput
+        # ``sink is not None``, not truthiness: a fresh TraceSink is empty
+        # (``__len__`` == 0, hence falsy) and used to be silently dropped
+        # here, so traced measured runs never produced timelines.
+        paced = self._clone(
+            input_rate=throughput, trace=sink if sink is not None else False
+        )
         result = paced.run()
         # The paced run's throughput is capped by its own input; report the
         # probe's (peak) throughput with the paced latency.

@@ -54,5 +54,14 @@ class ConfigurationError(ReproError):
     """Raised for invalid STAP / pipeline parameterizations."""
 
 
+class ExecutionError(ReproError):
+    """Raised when a batch experiment point fails inside the executor.
+
+    The executor captures per-point failures so one bad point does not kill
+    a whole sweep; this error is raised when a caller asks for a failed
+    point's result, and carries the worker-side traceback text.
+    """
+
+
 class AssignmentError(ConfigurationError):
     """Raised when a processor assignment is infeasible for the machine."""

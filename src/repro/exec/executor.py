@@ -1,0 +1,186 @@
+"""The batch experiment executor: fan independent points out over workers.
+
+The paper's evaluation is a grid of *independent* full-pipeline runs
+(Tables 7–10, the Figure 11 series, scalability curves).  The executor
+takes a list of :class:`~repro.exec.point.SimPoint` and returns one
+:class:`PointOutcome` per point **in input order**, regardless of
+completion order, so ``jobs`` never changes what a caller sees:
+
+* ``jobs=1`` runs in-process, in order — bit-identical to the historical
+  serial loops;
+* ``jobs>1`` fans cache misses out over a ``ProcessPoolExecutor``;
+  simulations are deterministic, so parallel results are byte-equal to
+  serial ones (enforced by the golden tests in ``tests/exec/``);
+* every point is first looked up in the result cache, and fresh results
+  are stored back, so a repeated sweep performs zero new simulations.
+
+One failed point does not kill the batch: its traceback is captured on
+the outcome (``outcome.error``) and the remaining points still run.
+Progress callbacks fire once per completed point (cache hits included)
+and the :data:`repro.perf.exec_counters` totals are maintained
+throughout.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.exec.cache import (
+    USE_DEFAULT_CACHE,
+    ResultCache,
+    cache_key,
+    resolve_cache,
+)
+from repro.exec.point import PointResult, SimPoint
+from repro.perf import exec_counters
+
+#: ``progress(completed_count, total, outcome)`` — called once per point,
+#: in completion order (which is input order for cache hits and ``jobs=1``).
+ProgressCallback = Callable[[int, int, "PointOutcome"], None]
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one submitted point."""
+
+    index: int
+    point: SimPoint
+    result: Optional[PointResult] = None
+    #: Formatted traceback of the failure, if any.
+    error: Optional[str] = None
+    #: True when the result came from the cache (no simulation ran).
+    cached: bool = False
+    #: Host seconds spent simulating this point (0.0 for cache hits).
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> PointResult:
+        """The result, or :class:`~repro.errors.ExecutionError` on failure."""
+        if self.error is not None:
+            raise ExecutionError(
+                f"point {self.point.display_label!r} failed:\n{self.error}"
+            )
+        assert self.result is not None
+        return self.result
+
+
+def _run_point(index: int, point: SimPoint):
+    """Worker body: never raises, so one bad point cannot kill the pool."""
+    start = time.perf_counter()
+    try:
+        result = point.run()
+        return index, result, None, time.perf_counter() - start
+    except Exception:
+        return index, None, traceback.format_exc(), time.perf_counter() - start
+
+
+def run_points(
+    points: Iterable[SimPoint],
+    jobs: int = 1,
+    cache=USE_DEFAULT_CACHE,
+    progress: Optional[ProgressCallback] = None,
+) -> list[PointOutcome]:
+    """Execute a batch of independent points; outcomes in input order.
+
+    ``cache`` is the process default unless given explicitly; pass
+    ``None`` to disable caching entirely.
+    """
+    points = list(points)
+    if jobs < 1:
+        raise ExecutionError(f"jobs must be >= 1, got {jobs}")
+    store = resolve_cache(cache)
+    total = len(points)
+    outcomes: list[Optional[PointOutcome]] = [None] * total
+    completed = 0
+
+    def note(outcome: PointOutcome) -> None:
+        nonlocal completed
+        outcomes[outcome.index] = outcome
+        completed += 1
+        if outcome.error is not None:
+            exec_counters.point_errors += 1
+        elif not outcome.cached:
+            exec_counters.simulations_run += 1
+        if progress is not None:
+            progress(completed, total, outcome)
+
+    pending: list[tuple[int, SimPoint, Optional[str]]] = []
+    for index, point in enumerate(points):
+        exec_counters.points_submitted += 1
+        key = cache_key(point) if store is not None else None
+        if store is not None:
+            hit = store.get(key)
+            if hit is not None:
+                note(PointOutcome(index=index, point=point, result=hit, cached=True))
+                continue
+        pending.append((index, point, key))
+
+    if not pending:
+        return outcomes  # type: ignore[return-value]
+
+    keys = {index: key for index, _, key in pending}
+
+    def settle(index: int, result, error, elapsed: float) -> None:
+        if error is None and store is not None and keys[index] is not None:
+            store.put(keys[index], result)
+        note(
+            PointOutcome(
+                index=index,
+                point=points[index],
+                result=result,
+                error=error,
+                elapsed=elapsed,
+            )
+        )
+
+    if jobs == 1 or len(pending) == 1:
+        for index, point, _ in pending:
+            settle(*_run_point(index, point))
+        return outcomes  # type: ignore[return-value]
+
+    workers = min(jobs, len(pending))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(_run_point, index, point): index
+            for index, point, _ in pending
+        }
+        remaining = set(futures)
+        while remaining:
+            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    index, result, error, elapsed = future.result()
+                except Exception:
+                    # The pool itself failed (worker killed, unpicklable
+                    # payload): charge it to the point, keep the batch.
+                    index = futures[future]
+                    result, error, elapsed = None, traceback.format_exc(), 0.0
+                settle(index, result, error, elapsed)
+    return outcomes  # type: ignore[return-value]
+
+
+def execute_point(point: SimPoint, cache=USE_DEFAULT_CACHE) -> PointResult:
+    """Run (or fetch) a single point; raises on failure."""
+    return run_points([point], jobs=1, cache=cache)[0].unwrap()
+
+
+def raise_on_failures(outcomes: Sequence[PointOutcome]) -> None:
+    """Raise :class:`~repro.errors.ExecutionError` listing any failed points."""
+    failed = [o for o in outcomes if not o.ok]
+    if not failed:
+        return
+    lines = [f"{len(failed)} of {len(outcomes)} sweep points failed:"]
+    for outcome in failed:
+        summary = outcome.error.strip().splitlines()[-1] if outcome.error else "?"
+        lines.append(f"  [{outcome.index}] {outcome.point.display_label}: {summary}")
+    lines.append("")
+    lines.append(failed[0].error or "")
+    raise ExecutionError("\n".join(lines))

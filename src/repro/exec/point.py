@@ -1,0 +1,146 @@
+"""One batch-executable simulation point and its (cacheable) result.
+
+A :class:`SimPoint` is the *description* of one full-pipeline simulation —
+everything :class:`~repro.core.pipeline.STAPPipeline` needs, as a frozen,
+picklable value object, so points can be content-hashed for the result
+cache and shipped to worker processes.  A :class:`PointResult` is the part
+of a run worth keeping: the metrics and run-level counters, without the
+raw per-rank collector or trace sink (which would dominate IPC and disk
+cost without being used by any sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.assignment import Assignment
+from repro.core.metrics import PipelineMetrics
+from repro.errors import ConfigurationError
+from repro.machine import Machine
+from repro.radar.parameters import STAPParams
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One independent experiment point of a sweep.
+
+    ``machine=None`` means the default AFRL Paragon, resolved inside
+    :meth:`run` so the point itself stays light to pickle.  ``measured``
+    selects the two-phase :meth:`~repro.core.pipeline.STAPPipeline.run_measured`
+    measurement instead of a plain run.  Only ``modeled`` mode is
+    supported: functional runs need a CPI stream, which is neither
+    picklable nor coverable by the content key.
+    """
+
+    params: STAPParams
+    assignment: Assignment
+    machine: Optional[Machine] = None
+    num_cpis: int = 25
+    mode: str = "modeled"
+    input_rate: Optional[float] = None
+    contention: str = "endpoint"
+    azimuth_cycle: int = 1
+    double_buffering: bool = True
+    collect_training: bool = True
+    measured: bool = False
+    #: Display name for progress output; defaults to the assignment's name.
+    label: str = ""
+
+    def __post_init__(self):
+        if self.mode != "modeled":
+            raise ConfigurationError(
+                f"the executor supports modeled-mode points only, got {self.mode!r}"
+            )
+
+    @property
+    def display_label(self) -> str:
+        return self.label or self.assignment.name or f"{self.assignment.counts()}"
+
+    # -- execution ---------------------------------------------------------------
+    def build_pipeline(self, trace: bool = False):
+        from repro.core.pipeline import STAPPipeline
+
+        return STAPPipeline(
+            self.params,
+            self.assignment,
+            machine=self.machine,
+            mode=self.mode,
+            num_cpis=self.num_cpis,
+            contention=self.contention,
+            azimuth_cycle=self.azimuth_cycle,
+            input_rate=self.input_rate,
+            double_buffering=self.double_buffering,
+            collect_training=self.collect_training,
+            trace=trace,
+        )
+
+    def run(self) -> "PointResult":
+        """Simulate this point (no caching here; see the executor)."""
+        pipeline = self.build_pipeline()
+        result = pipeline.run_measured() if self.measured else pipeline.run()
+        return PointResult.from_pipeline_result(result)
+
+
+@dataclass
+class PointResult:
+    """The cacheable outcome of one simulated point."""
+
+    metrics: PipelineMetrics
+    makespan: float
+    network_messages: int
+    network_bytes: int
+    num_cpis: int
+    assignment: Assignment
+
+    @classmethod
+    def from_pipeline_result(cls, result) -> "PointResult":
+        return cls(
+            metrics=result.metrics,
+            makespan=result.makespan,
+            network_messages=result.network_messages,
+            network_bytes=result.network_bytes,
+            num_cpis=result.num_cpis,
+            assignment=result.assignment,
+        )
+
+
+def probe_throughput(pipeline) -> Optional[float]:
+    """Cached throughput for ``run_measured``'s probe phase, if cacheable.
+
+    The probe is an ordinary unpaced run of the pipeline's own
+    configuration; identical configurations probe to identical
+    throughputs, so the probe routes through the result cache.  Returns
+    ``None`` when the configuration is not content-addressable (functional
+    mode, or a non-default steering matrix) and the caller must run the
+    probe itself.
+    """
+    from repro.exec.cache import cache_key, get_default_cache
+    from repro.perf import exec_counters
+
+    if pipeline.mode != "modeled" or not getattr(
+        pipeline, "_default_steering", False
+    ):
+        return None
+    point = SimPoint(
+        pipeline.params,
+        pipeline.assignment,
+        machine=pipeline.machine,
+        num_cpis=pipeline.num_cpis,
+        input_rate=pipeline.input_rate,
+        contention=str(pipeline.contention),
+        azimuth_cycle=pipeline.azimuth_cycle,
+        double_buffering=pipeline.double_buffering,
+        collect_training=pipeline.collect_training,
+        measured=False,
+    )
+    cache = get_default_cache()
+    key = cache_key(point)
+    hit = cache.get(key)
+    if hit is not None:
+        exec_counters.probe_cache_hits += 1
+        return hit.metrics.measured_throughput
+    result = point.run()
+    exec_counters.simulations_run += 1
+    cache.put(key, result)
+    return result.metrics.measured_throughput

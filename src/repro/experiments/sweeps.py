@@ -1,8 +1,17 @@
 """Parameter sweeps: Figure 11 series and machine-size scalability curves.
 
-Both sweep runners accept ``trace_dir``: when given, every point's run is
+Both sweep runners are built on the batch executor (:mod:`repro.exec`):
+every point of a sweep is an independent full-pipeline simulation, so the
+points fan out over ``jobs`` worker processes and route through the
+content-addressed result cache — a repeated sweep is all cache hits.
+``jobs=1`` (the default) is bit-identical to the historical serial loop;
+simulations are deterministic, so ``jobs>1`` is too (enforced by the
+golden tests in ``tests/exec/``).
+
+Both runners also accept ``trace_dir``: when given, every point's run is
 traced and a Perfetto timeline named after the point is written there, so
-a whole sweep's timelines can be diffed side by side.
+a whole sweep's timelines can be diffed side by side.  Tracing needs the
+live in-process sink, so traced sweeps always run serially and uncached.
 """
 
 from __future__ import annotations
@@ -14,23 +23,40 @@ from typing import Optional, Sequence
 from repro.core.assignment import Assignment, TASK_NAMES
 from repro.core.pipeline import STAPPipeline
 from repro.errors import ConfigurationError
+from repro.exec import (
+    USE_DEFAULT_CACHE,
+    SimPoint,
+    raise_on_failures,
+    run_points,
+)
 from repro.machine import Machine
 from repro.radar.parameters import STAPParams
 from repro.scheduling import AnalyticPipelineModel, optimize_throughput
 
 
-def _maybe_write_trace(result, pipeline, trace_dir, point_name: str) -> None:
-    """Write one sweep point's timeline when ``trace_dir`` is set."""
-    if trace_dir is None or result.trace is None:
-        return
+def _traced_run(point: SimPoint, trace_dir, point_name: str):
+    """Serial fallback for traced sweeps: run live, write the timeline."""
     from repro.obs import write_chrome_trace
 
+    pipeline = point.build_pipeline(trace=True)
+    result = pipeline.run_measured() if point.measured else pipeline.run()
     directory = Path(trace_dir)
     directory.mkdir(parents=True, exist_ok=True)
     write_chrome_trace(
         result.trace, directory / f"{point_name}.trace.json",
         mesh=pipeline.machine.mesh,
     )
+    return result
+
+
+def _run_sweep_points(points, names, trace_dir, jobs, cache):
+    """Results for a sweep's points, one per point, in input order."""
+    if trace_dir is not None:
+        return [_traced_run(p, trace_dir, name) for p, name in zip(points, names)]
+    outcomes = run_points(points, jobs=jobs, cache=cache)
+    raise_on_failures(outcomes)
+    return [outcome.result for outcome in outcomes]
+
 
 #: Case-2 node counts used for the tasks *not* being swept.
 _BASE_COUNTS = {
@@ -65,32 +91,39 @@ def speedup_series(
     machine: Optional[Machine] = None,
     params: Optional[STAPParams] = None,
     trace_dir=None,
+    jobs: int = 1,
+    cache=USE_DEFAULT_CACHE,
 ) -> list[SpeedupPoint]:
     """Figure 11: computation time & speedup of one task vs its node count.
 
     The other tasks are held at case-2 counts; each point is one
-    full-pipeline simulation's comp column.
+    full-pipeline simulation's comp column.  Points are independent, so
+    they run through the executor (``jobs`` workers, result-cached).
     """
     if task not in TASK_NAMES:
         raise ConfigurationError(f"unknown task {task!r}")
     if not node_counts:
         raise ConfigurationError("node_counts must be non-empty")
     params = params or STAPParams.paper()
-    series = []
-    base_comp = None
-    base_nodes = None
+    points, names = [], []
     for nodes in node_counts:
         counts = dict(_BASE_COUNTS)
         counts[task] = nodes
-        pipeline = STAPPipeline(
-            params,
-            Assignment(name=f"sweep-{task}-{nodes}", **counts),
-            machine=machine,
-            num_cpis=num_cpis,
-            trace=trace_dir is not None,
+        name = f"sweep-{task}-{nodes}"
+        points.append(
+            SimPoint(
+                params,
+                Assignment(name=name, **counts),
+                machine=machine,
+                num_cpis=num_cpis,
+            )
         )
-        result = pipeline.run()
-        _maybe_write_trace(result, pipeline, trace_dir, f"sweep-{task}-{nodes}")
+        names.append(name)
+    results = _run_sweep_points(points, names, trace_dir, jobs, cache)
+    series = []
+    base_comp = None
+    base_nodes = None
+    for nodes, result in zip(node_counts, results):
         comp = result.metrics.tasks[task].comp
         if base_comp is None:
             base_comp, base_nodes = comp, nodes
@@ -122,31 +155,38 @@ def scalability_curve(
     params: Optional[STAPParams] = None,
     measured: bool = True,
     trace_dir=None,
+    jobs: int = 1,
+    cache=USE_DEFAULT_CACHE,
 ) -> list[ScalabilityPoint]:
     """Throughput/latency vs total node budget, with optimized assignments.
 
     The generalization of Table 8's three points: for each budget, the
-    greedy optimizer picks the assignment and the simulation measures it.
+    greedy optimizer picks the assignment (cheap, in-process) and the
+    simulation measures it (fanned out over ``jobs`` workers).
     """
     if not budgets:
         raise ConfigurationError("budgets must be non-empty")
     params = params or STAPParams.paper()
     model = AnalyticPipelineModel(params, machine)
-    curve = []
-    for budget in budgets:
-        assignment = optimize_throughput(model, budget)
-        pipeline = STAPPipeline(
-            params, assignment, machine=machine, num_cpis=num_cpis,
-            trace=trace_dir is not None,
+    assignments = [optimize_throughput(model, budget) for budget in budgets]
+    points = [
+        SimPoint(
+            params,
+            assignment,
+            machine=machine,
+            num_cpis=num_cpis,
+            measured=measured,
         )
-        result = pipeline.run_measured() if measured else pipeline.run()
-        _maybe_write_trace(result, pipeline, trace_dir, f"budget-{budget}")
-        curve.append(
-            ScalabilityPoint(
-                budget=budget,
-                assignment=assignment,
-                throughput=result.metrics.measured_throughput,
-                latency=result.metrics.measured_latency,
-            )
+        for assignment in assignments
+    ]
+    names = [f"budget-{budget}" for budget in budgets]
+    results = _run_sweep_points(points, names, trace_dir, jobs, cache)
+    return [
+        ScalabilityPoint(
+            budget=budget,
+            assignment=assignment,
+            throughput=result.metrics.measured_throughput,
+            latency=result.metrics.measured_latency,
         )
-    return curve
+        for budget, assignment, result in zip(budgets, assignments, results)
+    ]

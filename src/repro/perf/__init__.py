@@ -14,7 +14,18 @@ only happen when a caller asks (``STAPPipeline(..., perf=True)``,
 ``repro-stap case --perf``, or :func:`profile_run`).
 """
 
-from repro.perf.counters import PerfReport, snapshot_counters
+from repro.perf.counters import (
+    ExecCounters,
+    PerfReport,
+    exec_counters,
+    snapshot_counters,
+)
 from repro.perf.profiling import profile_run
 
-__all__ = ["PerfReport", "snapshot_counters", "profile_run"]
+__all__ = [
+    "ExecCounters",
+    "PerfReport",
+    "exec_counters",
+    "snapshot_counters",
+    "profile_run",
+]

@@ -2,8 +2,55 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional
+
+
+@dataclass
+class ExecCounters:
+    """Process-wide counters for the batch executor and result cache.
+
+    Plain integer increments, always on (like the simulator's own
+    counters); :mod:`repro.exec` maintains them as work flows through the
+    executor and cache so tests and reports can verify, for example, that
+    a repeated sweep performed *zero* new simulations.  Parallel workers
+    report through their outcomes, so the parent's counters stay coherent
+    regardless of ``jobs``.
+    """
+
+    #: Points handed to :func:`repro.exec.run_points` (cached or not).
+    points_submitted: int = 0
+    #: Full pipeline simulations actually executed (cache misses).
+    simulations_run: int = 0
+    #: Points whose simulation raised (captured, not propagated).
+    point_errors: int = 0
+    #: Result-cache hits served from the in-process LRU layer.
+    cache_hits_memory: int = 0
+    #: Result-cache hits served from the on-disk store.
+    cache_hits_disk: int = 0
+    #: Result-cache lookups that found nothing.
+    cache_misses: int = 0
+    #: Results written into the cache.
+    cache_stores: int = 0
+    #: ``run_measured`` probe phases answered from the result cache.
+    probe_cache_hits: int = 0
+
+    def snapshot(self) -> dict:
+        """Copy of the current values (for before/after deltas)."""
+        return asdict(self)
+
+    def delta_since(self, before: dict) -> dict:
+        """Per-counter increase since a :meth:`snapshot`."""
+        now = self.snapshot()
+        return {key: now[key] - before.get(key, 0) for key in now}
+
+    def reset(self) -> None:
+        for key in self.snapshot():
+            setattr(self, key, 0)
+
+
+#: The module singleton the executor and cache increment.
+exec_counters = ExecCounters()
 
 
 def snapshot_counters(sim, world=None) -> dict:

@@ -1,0 +1,63 @@
+"""The functional-mode raw-cube cache stays within its depth bound."""
+
+import pytest
+
+from repro import Assignment, CPIStream, STAPParams, STAPPipeline
+from repro.core import pipeline as pipeline_mod
+
+
+def make_pipeline(tiny_scenario, num_cpis=8):
+    params = STAPParams.tiny()
+    return STAPPipeline(
+        params,
+        Assignment(3, 2, 2, 2, 2, 2, 2, name="cube-cache"),
+        mode="functional",
+        stream=CPIStream(params, tiny_scenario),
+        num_cpis=num_cpis,
+    )
+
+
+class TestCubeCacheBound:
+    def test_out_of_order_requests_stay_bounded(self, tiny_scenario):
+        """An older CPI arriving after newer ones must not grow the cache:
+        the windowed eviction alone would keep both the old index and the
+        full newer window."""
+        pipeline = make_pipeline(tiny_scenario, num_cpis=25)
+        depth = pipeline_mod._CUBE_CACHE_DEPTH
+        order = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 2, 11, 0, 12, 5, 13]
+        for index in order:
+            pipeline._cube(index)
+            assert len(pipeline._cube_cache) <= depth, (
+                f"cube cache grew to {len(pipeline._cube_cache)} entries "
+                f"after requesting CPI {index} (bound {depth})"
+            )
+
+    def test_bound_holds_across_a_full_run(self, tiny_scenario, monkeypatch):
+        """Every access during a real functional run observes the bound."""
+        pipeline = make_pipeline(tiny_scenario, num_cpis=8)
+        depth = pipeline_mod._CUBE_CACHE_DEPTH
+        sizes = []
+        original = STAPPipeline._cube
+
+        def watched(self, cpi_index):
+            cube = original(self, cpi_index)
+            sizes.append(len(self._cube_cache))
+            return cube
+
+        monkeypatch.setattr(STAPPipeline, "_cube", watched)
+        result = pipeline.run()
+        assert len(result.reports) == 8
+        assert sizes, "functional run never touched the cube cache"
+        assert max(sizes) <= depth
+
+    def test_cache_returns_correct_cubes_after_eviction(self, tiny_scenario):
+        """Re-fetching an evicted CPI regenerates the identical cube."""
+        import numpy as np
+
+        pipeline = make_pipeline(tiny_scenario, num_cpis=25)
+        depth = pipeline_mod._CUBE_CACHE_DEPTH
+        first = pipeline._cube(0).data.copy()
+        for index in range(1, depth + 3):  # push CPI 0 out of the window
+            pipeline._cube(index)
+        assert 0 not in pipeline._cube_cache
+        np.testing.assert_array_equal(pipeline._cube(0).data, first)

@@ -1,0 +1,1 @@
+"""Tests for repro.exec: the batch executor and result cache."""

@@ -1,0 +1,87 @@
+"""run_measured's probe phase routes through the result cache."""
+
+import pytest
+
+from repro import Assignment, CPIStream, RadarScenario, STAPParams, STAPPipeline
+from repro.exec import ResultCache, set_default_cache
+from repro.perf import exec_counters
+
+pytestmark = pytest.mark.exec
+
+TINY = STAPParams.tiny()
+COUNTS = (2, 1, 2, 1, 1, 1, 1)
+
+
+@pytest.fixture
+def fresh_default_cache():
+    previous = set_default_cache(ResultCache())
+    yield
+    set_default_cache(previous)
+
+
+def make_pipeline(**kwargs):
+    return STAPPipeline(TINY, Assignment(*COUNTS, name="probe"), num_cpis=6, **kwargs)
+
+
+class TestProbeCache:
+    def test_identical_configs_probe_once(self, fresh_default_cache):
+        before = exec_counters.snapshot()
+        first = make_pipeline().run_measured()
+        mid = exec_counters.delta_since(before)
+        assert mid["simulations_run"] == 1  # the probe itself
+        assert mid["probe_cache_hits"] == 0
+
+        before = exec_counters.snapshot()
+        second = make_pipeline().run_measured()
+        delta = exec_counters.delta_since(before)
+        assert delta["probe_cache_hits"] == 1
+        assert delta["simulations_run"] == 0
+        # Bit-identical results either way.
+        assert second.metrics == first.metrics
+
+    def test_same_pipeline_object_reprobes_from_cache(self, fresh_default_cache):
+        pipeline = make_pipeline()
+        first = pipeline.run_measured()
+        before = exec_counters.snapshot()
+        second = pipeline.run_measured()
+        assert exec_counters.delta_since(before)["probe_cache_hits"] == 1
+        assert second.metrics == first.metrics
+
+    def test_custom_steering_bypasses_cache(self, fresh_default_cache):
+        from repro.stap.reference import default_steering
+
+        steering = default_steering(TINY)
+        before = exec_counters.snapshot()
+        make_pipeline(steering=steering).run_measured()
+        make_pipeline(steering=steering).run_measured()
+        delta = exec_counters.delta_since(before)
+        assert delta["probe_cache_hits"] == 0
+        assert delta["simulations_run"] == 0  # ran outside the exec layer
+
+    def test_functional_mode_bypasses_cache(self, fresh_default_cache, tiny_scenario):
+        stream = CPIStream(TINY, tiny_scenario)
+        pipeline = STAPPipeline(
+            TINY,
+            Assignment(*COUNTS, name="probe-func"),
+            mode="functional",
+            stream=stream,
+            num_cpis=5,
+        )
+        before = exec_counters.snapshot()
+        result = pipeline.run_measured()
+        delta = exec_counters.delta_since(before)
+        assert delta["probe_cache_hits"] == 0
+        assert delta["simulations_run"] == 0
+        assert len(result.reports) == 5
+
+    def test_probe_result_shared_with_executor_points(self, fresh_default_cache):
+        """An unmeasured executor point and run_measured's probe are the
+        same configuration, so whichever runs first feeds the other."""
+        from repro.exec import SimPoint, execute_point
+
+        execute_point(SimPoint(TINY, Assignment(*COUNTS, name="x"), num_cpis=6))
+        before = exec_counters.snapshot()
+        make_pipeline().run_measured()
+        delta = exec_counters.delta_since(before)
+        assert delta["probe_cache_hits"] == 1
+        assert delta["simulations_run"] == 0
