@@ -41,6 +41,7 @@ from repro.perf import PerfReport, snapshot_counters
 from repro.radar.datacube import CPIStream
 from repro.radar.parameters import STAPParams
 from repro.stap.detection import DetectionReport
+from repro.stap.plan import KernelPlan
 from repro.stap.reference import default_steering
 
 #: Raw cubes kept alive at once in functional mode (double buffering means
@@ -161,6 +162,11 @@ class STAPPipeline:
         # on the Paragon).
         self.layout.validate_memory(self.machine.node.memory_bytes)
         self.steering = default_steering(params) if steering is None else steering
+        #: Per-run kernel constants, computed once and shared by every
+        #: functional task (and only built when the numerics actually run).
+        self.kernel_plan = (
+            KernelPlan.build(params, self.steering) if self.functional else None
+        )
         self._cube_cache: Dict[int, object] = {}
 
     # -- functional data source ---------------------------------------------------
@@ -190,6 +196,7 @@ class STAPPipeline:
             weight_delay=self.azimuth_cycle,
             double_buffering=self.double_buffering,
             obs=self.trace_sink,
+            plan=self.kernel_plan,
         )
         cost = self.machine.network_cost
         pack = self.machine.packing_cost

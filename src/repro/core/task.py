@@ -98,6 +98,7 @@ class PipelineTask(abc.ABC):
         weight_delay: int = 1,
         double_buffering: bool = True,
         obs=None,
+        plan=None,
     ):
         self.layout = layout
         self.params = layout.params
@@ -105,6 +106,12 @@ class PipelineTask(abc.ABC):
         self.num_cpis = num_cpis
         self.collector = collector
         self.functional = functional
+        #: Optional :class:`~repro.stap.plan.KernelPlan` — per-run constants
+        #: (windows, replica spectrum, quiescent weights, CFAR factors)
+        #: computed once by the pipeline and shared by every task.  Tasks
+        #: fall back to computing their own pieces at setup when absent
+        #: (direct construction in tests); numerics are identical.
+        self.plan = plan
         #: Iterations between a weight task training on CPI i and those
         #: weights being applied (= azimuth revisit period; 1 when every
         #: CPI shares one azimuth).

@@ -18,6 +18,7 @@ from typing import Any, Dict
 import numpy as np
 
 from repro.core.task import MODELED, PipelineTask
+from repro.radar.windows import window_by_name
 from repro.stap.doppler import doppler_filter_block
 from repro.stap.flops import doppler_flops
 
@@ -51,6 +52,17 @@ class DopplerTask(PipelineTask):
         self.input_period = input_period
         self.input_offset = input_offset
         self.k_lo, self.k_hi = self.layout.k_partition.bounds(self.local_rank)
+        # Filter-bank window: once per run, not once per CPI.
+        if not self.functional:
+            self._window = None
+        elif self.plan is not None:
+            self._window = self.plan.doppler_window
+        else:
+            params = self.params
+            win_len = params.num_pulses - params.stagger
+            self._window = window_by_name(params.window, win_len).astype(
+                params.real_dtype
+            )
 
     # -- framework hooks ---------------------------------------------------------
     def pre_iteration(self, ctx, cpi: int):
@@ -78,7 +90,10 @@ class DopplerTask(PipelineTask):
         if self.functional:
             cube = self.source(cpi)
             staggered = doppler_filter_block(
-                cube.data[self.k_lo : self.k_hi], self.params, k_start=self.k_lo
+                cube.data[self.k_lo : self.k_hi],
+                self.params,
+                k_start=self.k_lo,
+                window=self._window,
             )
         sends = []
         J = self.params.num_channels
@@ -99,11 +114,13 @@ class DopplerTask(PipelineTask):
                 parts = {}
                 for seg in message.segments:
                     cols = seg.k_indices - self.k_lo
-                    block = staggered[seg.bin_ids][:, :channels, :]
                     # Conjugated snapshots, (bins, rows, channels): see
-                    # repro.stap.easy_weights.extract_easy_training.
+                    # repro.stap.easy_weights.extract_easy_training.  The
+                    # separated advanced indices place the broadcast
+                    # (bins, rows) axes first, gathering the transposed
+                    # block in one pass instead of copy + slice + copy.
                     parts[seg.segment] = np.conj(
-                        np.transpose(block[:, :, cols], (0, 2, 1))
+                        staggered[seg.bin_ids[:, None], :channels, cols[None, :]]
                     )
                 messages.append((message, parts))
             if messages:
@@ -121,8 +138,14 @@ class DopplerTask(PipelineTask):
                     messages.append((message, MODELED))
                     continue
                 bins = bins_partition.ids_of(message.dst)
-                payload = staggered[bins] if use_both_windows else staggered[bins][:, :J, :]
-                messages.append((message, np.ascontiguousarray(payload)))
+                # Advanced indexing already yields a fresh C-contiguous
+                # cube — one gather, no ascontiguousarray re-copy.
+                payload = (
+                    staggered[bins]
+                    if use_both_windows
+                    else staggered[bins, :J, :]
+                )
+                messages.append((message, payload))
             if messages:
                 sends.append((edge_name, messages))
         return sends

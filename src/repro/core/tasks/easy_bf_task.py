@@ -36,6 +36,23 @@ class EasyBeamformTask(PipelineTask):
         self._dop_msgs = {m.src: m for m in dop_plan.recvs_of(self.local_rank)}
         w_plan = self.layout.plan("easy_weight_to_bf")
         self._w_msgs = {m.src: m for m in w_plan.recvs_of(self.local_rank)}
+        # Cold-start fallback weights: once per run, not once per cold CPI.
+        if not self.functional:
+            self._quiescent = None
+            self._dop_buf = None
+            self._w_buf = None
+        else:
+            if self.plan is not None:
+                self._quiescent = self.plan.easy_quiescent
+            else:
+                self._quiescent = quiescent_weights(self.steering)
+            # Input assembly buffers, reused across CPIs: every iteration
+            # writes the same (static) message extents, so stale data can
+            # never leak, and unwritten pad cells keep their initial zeros.
+            params = self.params
+            J, K, M = params.num_channels, params.num_ranges, params.num_beams
+            self._dop_buf = np.zeros((len(self.bins), J, K), dtype=complex)
+            self._w_buf = np.empty((len(self.bins), J, M), dtype=complex)
 
     # -- framework hooks ----------------------------------------------------------
     def recv_edges(self, cpi: int) -> list[str]:
@@ -55,25 +72,23 @@ class EasyBeamformTask(PipelineTask):
             messages = [(m, MODELED) for m in plan.sends_of(self.local_rank)]
             return [("easy_bf_to_pc", messages)] if messages else []
 
-        params = self.params
-        J, K, M = params.num_channels, params.num_ranges, params.num_beams
-        dop = np.zeros((len(self.bins), J, K), dtype=complex)
+        dop = self._dop_buf
         for src, payload in received.get("dop_to_easy_bf", {}).items():
             descriptor = self._dop_msgs[src]
             dop[:, :, descriptor.k_start : descriptor.k_stop] = payload
 
+        weights = self._w_buf
         if cpi < self.weight_delay:
-            weights = np.empty((len(self.bins), J, M), dtype=complex)
-            weights[:] = quiescent_weights(self.steering)[None, :, :]
+            weights[:] = self._quiescent[None, :, :]
         else:
-            weights = np.empty((len(self.bins), J, M), dtype=complex)
             for src, payload in received.get("easy_weight_to_bf", {}).items():
                 descriptor = self._w_msgs[src]
                 weights[descriptor.dst_pos] = payload
 
+        # ``beamformed`` is freshly allocated by einsum each CPI, so the
+        # send payloads may alias it: in-flight slices are never clobbered.
         beamformed = np.einsum("njm,njk->nmk", np.conj(weights), dop, optimize=True)
         messages = [
-            (m, np.ascontiguousarray(beamformed[m.src_pos]))
-            for m in plan.sends_of(self.local_rank)
+            (m, beamformed[m.src_pos]) for m in plan.sends_of(self.local_rank)
         ]
         return [("easy_bf_to_pc", messages)] if messages else []

@@ -59,6 +59,8 @@ class EasyWeightTask(PipelineTask):
 
         params = self.params
         azimuth = cpi % self.weight_delay
+        # NOT a reusable buffer: each CPI's training block is retained in
+        # the sliding history deque, so it must be a fresh allocation.
         training = np.zeros(
             (len(self.bins), params.easy_train_per_cpi, params.num_channels),
             dtype=complex,
@@ -73,11 +75,12 @@ class EasyWeightTask(PipelineTask):
         if not wants_send:
             return []
         stacked = np.concatenate(list(history), axis=1)
+        # ``weights`` is a fresh stack each CPI, so in-flight send payloads
+        # may safely alias it.
         weights = compute_easy_weights(
             stacked, self.steering, params.beam_constraint_weight
         )
         messages = [
-            (m, np.ascontiguousarray(weights[m.src_pos]))
-            for m in plan.sends_of(self.local_rank)
+            (m, weights[m.src_pos]) for m in plan.sends_of(self.local_rank)
         ]
         return [("easy_weight_to_bf", messages)] if messages else []

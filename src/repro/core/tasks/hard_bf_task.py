@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.task import MODELED, PipelineTask
 from repro.stap.doppler import stagger_phase
 from repro.stap.flops import hard_beamform_flops
-from repro.stap.lsq import quiescent_weights
+from repro.stap.lsq import quiescent_weights_stacked
 
 
 class HardBeamformTask(PipelineTask):
@@ -31,6 +31,28 @@ class HardBeamformTask(PipelineTask):
         self._dop_msgs = {m.src: m for m in dop_plan.recvs_of(self.local_rank)}
         w_plan = self.layout.plan("hard_weight_to_bf")
         self._w_msgs = {m.src: m for m in w_plan.recvs_of(self.local_rank)}
+        # Cold-start fallback weights for this rank's bins: once per run.
+        if not self.functional:
+            self._quiescent = None
+            self._dop_buf = None
+            self._w_buf = None
+        else:
+            if self.plan is not None:
+                self._quiescent = self.plan.hard_quiescent[self.bins]
+            else:
+                self._quiescent = quiescent_weights_stacked(self.steering, self.phases)
+            # Input assembly buffers, reused across CPIs: every iteration
+            # writes the same (static) message extents, so stale data can
+            # never leak, and unwritten pad cells keep their initial zeros.
+            params = self.params
+            n2 = params.num_staggered_channels
+            self._dop_buf = np.zeros(
+                (len(self.bins), n2, params.num_ranges), dtype=complex
+            )
+            self._w_buf = np.empty(
+                (params.num_segments, len(self.bins), n2, params.num_beams),
+                dtype=complex,
+            )
 
     # -- framework hooks ----------------------------------------------------------
     def recv_edges(self, cpi: int) -> list[str]:
@@ -51,27 +73,23 @@ class HardBeamformTask(PipelineTask):
             return [("hard_bf_to_pc", messages)] if messages else []
 
         params = self.params
-        n2 = params.num_staggered_channels
         K, M = params.num_ranges, params.num_beams
-        num_segments = params.num_segments
-        dop = np.zeros((len(self.bins), n2, K), dtype=complex)
+        dop = self._dop_buf
         for src, payload in received.get("dop_to_hard_bf", {}).items():
             descriptor = self._dop_msgs[src]
             dop[:, :, descriptor.k_start : descriptor.k_stop] = payload
 
+        weights = self._w_buf
         if cpi < self.weight_delay:
-            weights = np.empty((num_segments, len(self.bins), n2, M), dtype=complex)
-            for idx, phase in enumerate(self.phases):
-                weights[:, idx] = quiescent_weights(
-                    self.steering, copies=2, phases=[1.0, phase]
-                )[None, :, :]
+            weights[:] = self._quiescent[None, :, :, :]
         else:
-            weights = np.empty((num_segments, len(self.bins), n2, M), dtype=complex)
             for src, payload in received.get("hard_weight_to_bf", {}).items():
                 descriptor = self._w_msgs[src]
                 # payload: (units, 2J, M) per-(segment, bin) weight vectors.
                 weights[descriptor.segments, descriptor.dst_bin_pos] = payload
 
+        # ``beamformed`` must stay freshly allocated each CPI: the send
+        # payloads below alias it while in flight under double buffering.
         beamformed = np.empty((len(self.bins), M, K), dtype=complex)
         for seg_idx, seg in enumerate(params.segment_slices):
             beamformed[:, :, seg] = np.einsum(
@@ -81,7 +99,6 @@ class HardBeamformTask(PipelineTask):
                 optimize=True,
             )
         messages = [
-            (m, np.ascontiguousarray(beamformed[m.src_pos]))
-            for m in plan.sends_of(self.local_rank)
+            (m, beamformed[m.src_pos]) for m in plan.sends_of(self.local_rank)
         ]
         return [("hard_bf_to_pc", messages)] if messages else []

@@ -21,7 +21,7 @@ import numpy as np
 from repro.core.task import MODELED, PipelineTask
 from repro.stap.doppler import stagger_phase
 from repro.stap.flops import hard_weight_flops
-from repro.stap.lsq import qr_append_rows, solve_constrained
+from repro.stap.hard_weights import compute_hard_weights_units, update_r_units
 
 
 class HardWeightTask(PipelineTask):
@@ -40,6 +40,21 @@ class HardWeightTask(PipelineTask):
         self.phases = stagger_phase(self.params, self.unit_bins)
         # azimuth -> (U, 2J, 2J) R factors.
         self._r_state: Dict[int, np.ndarray] = {}
+        # Training assembly buffer, reused across CPIs (the QR update
+        # absorbs it before compute returns): the incoming segments write
+        # the same row positions every iteration, so no stale sample
+        # survives, and unwritten pad rows keep their initial zeros.
+        if self.functional:
+            self._training_buf = np.zeros(
+                (
+                    len(self.units),
+                    self.params.hard_train_samples,
+                    self.params.num_staggered_channels,
+                ),
+                dtype=complex,
+            )
+        else:
+            self._training_buf = None
         plan = self.layout.plan("dop_to_hard_weight")
         self._recv_msgs = {m.src: m for m in plan.recvs_of(self.local_rank)}
         # Map (segment, absolute bin) -> local unit index, for assembly.
@@ -77,14 +92,7 @@ class HardWeightTask(PipelineTask):
 
         params = self.params
         azimuth = cpi % self.weight_delay
-        training = np.zeros(
-            (
-                len(self.units),
-                params.hard_train_samples,
-                params.num_staggered_channels,
-            ),
-            dtype=complex,
-        )
+        training = self._training_buf
         for src, parts in received.get("dop_to_hard_weight", {}).items():
             descriptor = self._recv_msgs[src]
             for segment in descriptor.segments:
@@ -93,33 +101,22 @@ class HardWeightTask(PipelineTask):
                     unit = self._unit_index[(segment.segment, int(bin_id))]
                     training[unit][segment.row_positions, :] = block[bin_idx]
         state = self._state_for(azimuth)
-        forget = params.forgetting_factor
-        for unit in range(len(self.units)):
-            state[unit] = qr_append_rows(state[unit], training[unit], forget=forget)
+        update_r_units(state, training, params.forgetting_factor)
 
         if not wants_send:
             return []
-        # Solve the constrained problem per unit (same maths as
-        # repro.stap.hard_weights.compute_hard_weights, per unit).
-        J = params.num_channels
-        identity = np.eye(J, dtype=complex)
-        bw = params.beam_constraint_weight
-        fw = params.freq_constraint_weight
-        weights = np.empty(
-            (len(self.units), params.num_staggered_channels, params.num_beams),
-            dtype=complex,
+        # One stacked constrained solve over this rank's units (same maths
+        # as repro.stap.hard_weights.compute_hard_weights, flat unit axis).
+        weights = compute_hard_weights_units(
+            state,
+            self.steering,
+            self.phases,
+            params.beam_constraint_weight,
+            params.freq_constraint_weight,
         )
-        for unit in range(len(self.units)):
-            r_data = state[unit]
-            scale = float(np.mean(np.abs(np.diag(r_data))))
-            if scale <= 0.0:
-                scale = 1.0
-            constraint = scale * np.hstack(
-                [bw * identity, fw * np.conj(self.phases[unit]) * identity]
-            )
-            weights[unit] = solve_constrained(r_data, constraint, self.steering)
+        # ``weights`` is a fresh stack each CPI, so in-flight send payloads
+        # may safely alias it.
         messages = [
-            (m, np.ascontiguousarray(weights[m.src_pos]))
-            for m in plan.sends_of(self.local_rank)
+            (m, weights[m.src_pos]) for m in plan.sends_of(self.local_rank)
         ]
         return [("hard_weight_to_bf", messages)] if messages else []

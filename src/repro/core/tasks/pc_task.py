@@ -27,7 +27,23 @@ class PulseCompressionTask(PipelineTask):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.bins = self.layout.pc_bins.ids_of(self.local_rank)
-        self._replica = replica_response(self.params) if self.functional else None
+        # Replica spectrum from the shared plan (built exactly once per
+        # run); recomputed locally only when constructed without one.
+        if not self.functional:
+            self._replica = None
+            self._beams_buf = None
+        else:
+            if self.plan is not None:
+                self._replica = self.plan.replica_freq
+            else:
+                self._replica = replica_response(self.params)
+            # Input assembly buffer, reused across CPIs: the incoming
+            # easy/hard messages tile the bin axis identically every
+            # iteration, so no stale row survives a CPI.
+            self._beams_buf = np.zeros(
+                (len(self.bins), self.params.num_beams, self.params.num_ranges),
+                dtype=complex,
+            )
         self._easy_msgs = {
             m.src: m
             for m in self.layout.plan("easy_bf_to_pc").recvs_of(self.local_rank)
@@ -49,18 +65,16 @@ class PulseCompressionTask(PipelineTask):
             messages = [(m, MODELED) for m in plan.sends_of(self.local_rank)]
             return [("pc_to_cfar", messages)] if messages else []
 
-        params = self.params
-        beams = np.zeros(
-            (len(self.bins), params.num_beams, params.num_ranges), dtype=complex
-        )
+        beams = self._beams_buf
         for src, payload in received.get("easy_bf_to_pc", {}).items():
             beams[self._easy_msgs[src].dst_pos] = payload
         for src, payload in received.get("hard_bf_to_pc", {}).items():
             beams[self._hard_msgs[src].dst_pos] = payload
 
-        power = pulse_compress_block(beams, params, self._replica)
+        # ``power`` is a fresh cube each CPI (pulse_compress_block allocates
+        # its output), so in-flight send payloads may safely alias it.
+        power = pulse_compress_block(beams, self.params, self._replica)
         messages = [
-            (m, np.ascontiguousarray(power[m.src_pos]))
-            for m in plan.sends_of(self.local_rank)
+            (m, power[m.src_pos]) for m in plan.sends_of(self.local_rank)
         ]
         return [("pc_to_cfar", messages)] if messages else []

@@ -58,8 +58,7 @@ def verify_pipeline(
     ``double_buffering=False`` to verify an ablated configuration still
     computes the same answers).
     """
-    reference = SequentialSTAP(params).process_stream(stream.take(num_cpis))
-    result = STAPPipeline(
+    pipeline = STAPPipeline(
         params,
         assignment,
         machine=machine,
@@ -68,7 +67,13 @@ def verify_pipeline(
         num_cpis=num_cpis,
         azimuth_cycle=azimuth_cycle,
         **pipeline_kwargs,
-    ).run()
+    )
+    # One shared KernelPlan: the reference verifies the pipeline's own
+    # precomputed constants, and nothing is built twice.
+    reference = SequentialSTAP(params, plan=pipeline.kernel_plan).process_stream(
+        stream.take(num_cpis)
+    )
+    result = pipeline.run()
 
     mismatches = []
     detections = 0

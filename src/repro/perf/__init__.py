@@ -6,6 +6,10 @@ probes per message, wall-seconds per simulated CPI — so that regressions
 in simulation speed are visible and the fast-path optimizations stay
 honest.
 
+:mod:`repro.perf.kernels` adds the complementary *numerical* view:
+per-kernel host seconds and achieved flops/s of the batched STAP kernels
+against the paper's Table 1 operation counts.
+
 Everything here is opt-in.  The underlying counters
 (:attr:`repro.des.Simulator.events_processed`,
 :attr:`repro.mpi.World.match_probes`, ...) are plain integer increments
@@ -20,6 +24,12 @@ from repro.perf.counters import (
     exec_counters,
     snapshot_counters,
 )
+from repro.perf.kernels import (
+    KernelCounters,
+    KernelStats,
+    achieved_vs_table1,
+    kernel_counters,
+)
 from repro.perf.profiling import profile_run
 
 __all__ = [
@@ -27,5 +37,9 @@ __all__ = [
     "PerfReport",
     "exec_counters",
     "snapshot_counters",
+    "KernelCounters",
+    "KernelStats",
+    "achieved_vs_table1",
+    "kernel_counters",
     "profile_run",
 ]

@@ -28,6 +28,7 @@ from repro.stap.beamform import beamform_easy, beamform_hard, assemble_beamforme
 from repro.stap.pulse_compression import pulse_compress
 from repro.stap.cfar import cfar_threshold_factor, cfar_detect, Detection
 from repro.stap.detection import DetectionReport
+from repro.stap.plan import KernelPlan, build_kernel_plan
 from repro.stap.reference import SequentialSTAP
 from repro.stap import flops
 from repro.stap import sinr
@@ -49,6 +50,8 @@ __all__ = [
     "cfar_detect",
     "Detection",
     "DetectionReport",
+    "KernelPlan",
+    "build_kernel_plan",
     "SequentialSTAP",
     "flops",
     "sinr",

@@ -16,10 +16,12 @@ cells.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.perf.kernels import kernel_counters
 from repro.radar.parameters import STAPParams
 
 
@@ -89,6 +91,7 @@ def cfar_detect(
     params: STAPParams,
     pfa: float | None = None,
     bin_ids=None,
+    factor: np.ndarray | None = None,
 ) -> list[Detection]:
     """Run CA-CFAR over a power cube; returns detections sorted by index.
 
@@ -105,6 +108,10 @@ def cfar_detect(
         ``0..bins-1``).  CFAR is independent per (bin, beam) row, so
         detections from a block labelled this way match the full-cube run
         exactly.
+    factor:
+        Optional precomputed (K,) ``alpha / counts`` threshold factor (a
+        :class:`~repro.stap.plan.KernelPlan` holds it for the design Pfa).
+        Mutually exclusive with ``pfa`` — the factor bakes one in.
     """
     M, K = params.num_beams, params.num_ranges
     power = np.asarray(power)
@@ -122,22 +129,42 @@ def cfar_detect(
             raise ConfigurationError(
                 f"bin_ids length {bin_ids.shape} != {power.shape[0]} rows"
             )
-    pfa = params.cfar_pfa if pfa is None else pfa
-    counts = reference_cell_counts(params)
-    alpha = cfar_threshold_factor(counts, pfa)
+    if factor is None:
+        pfa = params.cfar_pfa if pfa is None else pfa
+        counts = reference_cell_counts(params)
+        factor = cfar_threshold_factor(counts, pfa) / counts
+    elif pfa is not None:
+        raise ConfigurationError("pass either a pfa override or a factor, not both")
+    elif factor.shape != (K,):
+        raise ConfigurationError(f"factor length {factor.shape} != ({K},)")
+    start = perf_counter() if kernel_counters.enabled else None
     sums = _window_sums(np.asarray(power, dtype=np.float64), params)
-    thresholds = (alpha / counts)[None, None, :] * sums
+    thresholds = factor[None, None, :] * sums
     mask = power > thresholds
+    # Gather the crossing coordinates and values in one indexed pass each;
+    # Detection construction is the only remaining per-hit Python work.
     hits = np.argwhere(mask)
+    hit_powers = power[mask]
+    hit_thresholds = thresholds[mask]
+    hit_bins = bin_ids[hits[:, 0]]
     detections = [
         Detection(
-            doppler_bin=int(bin_ids[n]),
+            doppler_bin=int(bin_id),
             beam=int(m),
             range_cell=int(k),
-            power=float(power[n, m, k]),
-            threshold=float(thresholds[n, m, k]),
+            power=float(value),
+            threshold=float(threshold),
         )
-        for n, m, k in hits
+        for bin_id, (_, m, k), value, threshold in zip(
+            hit_bins, hits.tolist(), hit_powers.tolist(), hit_thresholds.tolist()
+        )
     ]
     detections.sort()
+    if start is not None:
+        from repro.stap.flops import cfar_flops
+
+        share = power.shape[0] / params.num_doppler
+        kernel_counters.record(
+            "cfar", perf_counter() - start, cfar_flops(params) * share
+        )
     return detections

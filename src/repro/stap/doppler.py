@@ -12,9 +12,12 @@ adaptive weights exploit.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.perf.kernels import kernel_counters
 from repro.radar.datacube import CPIDataCube
 from repro.radar.parameters import STAPParams
 from repro.radar.windows import window_by_name
@@ -33,7 +36,9 @@ def stagger_phase(params: STAPParams, doppler_bins) -> np.ndarray:
 
 
 def doppler_filter(
-    cube: CPIDataCube | np.ndarray, params: STAPParams | None = None
+    cube: CPIDataCube | np.ndarray,
+    params: STAPParams | None = None,
+    window: np.ndarray | None = None,
 ) -> np.ndarray:
     """Doppler-filter one CPI into the staggered cube.
 
@@ -43,6 +48,9 @@ def doppler_filter(
         Raw CPI cube (K x J x N), or a :class:`CPIDataCube`.
     params:
         Required when ``cube`` is a bare array.
+    window:
+        Optional precomputed filter-bank window (see
+        :func:`doppler_filter_block`).
 
     Returns
     -------
@@ -64,7 +72,7 @@ def doppler_filter(
     K, J, N = params.num_ranges, params.num_channels, params.num_pulses
     if data.shape != (K, J, N):
         raise ConfigurationError(f"cube shape {data.shape} != ({K},{J},{N})")
-    return doppler_filter_block(data, params)
+    return doppler_filter_block(data, params, window=window)
 
 
 def range_correction_factors(params: STAPParams, k_start: int, count: int) -> np.ndarray:
@@ -84,7 +92,10 @@ def range_correction_factors(params: STAPParams, k_start: int, count: int) -> np
 
 
 def doppler_filter_block(
-    data: np.ndarray, params: STAPParams, k_start: int = 0
+    data: np.ndarray,
+    params: STAPParams,
+    k_start: int = 0,
+    window: np.ndarray | None = None,
 ) -> np.ndarray:
     """Doppler-filter a K-slice of a CPI cube: (k, J, N) -> (N, 2J, k).
 
@@ -93,6 +104,10 @@ def doppler_filter_block(
     full-cube wrapper.  ``k_start`` is the slice's absolute first range
     cell — needed when range correction is enabled, since the correction
     gain depends on absolute range.
+
+    ``window``: optional precomputed filter-bank window (a
+    :class:`~repro.stap.plan.KernelPlan` holds it); default recomputes it
+    from the params — identical values either way.
     """
     J, N = params.num_channels, params.num_pulses
     data = np.asarray(data)
@@ -105,8 +120,14 @@ def doppler_filter_block(
         data = data * gains[:, None, None]
     s = params.stagger
     win_len = N - s
-    window = window_by_name(params.window, win_len).astype(params.real_dtype)
+    if window is None:
+        window = window_by_name(params.window, win_len).astype(params.real_dtype)
+    elif window.shape != (win_len,):
+        raise ConfigurationError(
+            f"window length {window.shape} != ({win_len},)"
+        )
 
+    start = perf_counter() if kernel_counters.enabled else None
     out = np.empty((N, 2 * J, data.shape[0]), dtype=np.complex128)
     # Early window: pulses [0, N-s), zero-padded to N before the FFT.
     early = data[:, :, :win_len] * window
@@ -119,6 +140,13 @@ def doppler_filter_block(
     # (k, J, N) -> (N, J, k)
     out[:, :J, :] = np.transpose(spec_early, (2, 1, 0))
     out[:, J:, :] = np.transpose(spec_late, (2, 1, 0))
+    if start is not None:
+        from repro.stap.flops import doppler_flops
+
+        share = data.shape[0] / params.num_ranges
+        kernel_counters.record(
+            "doppler", perf_counter() - start, doppler_flops(params) * share
+        )
     return out
 
 

@@ -15,15 +15,23 @@ appends ``hard_train_samples`` fresh rows via the block QR update of
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.perf.kernels import kernel_counters
 from repro.radar.parameters import STAPParams
 from repro.stap.doppler import stagger_phase
 from repro.stap.easy_weights import select_range_samples
-from repro.stap.lsq import qr_append_rows, solve_constrained, quiescent_weights
+from repro.stap.lsq import (
+    qr_append_rows,
+    qr_append_rows_stacked,
+    quiescent_weights_stacked,
+    solve_constrained,
+    solve_constrained_stacked,
+)
 
 
 def extract_hard_training(staggered: np.ndarray, params: STAPParams) -> np.ndarray:
@@ -68,14 +76,97 @@ def extract_hard_training(staggered: np.ndarray, params: STAPParams) -> np.ndarr
     return out
 
 
+def update_r_units(state: np.ndarray, training: np.ndarray, forget: float) -> None:
+    """Absorb training rows into a flat axis of R factors, in place.
+
+    ``state``: (U, 2J, 2J) R factors, one per (segment, bin) unit;
+    ``training``: (U, rows, 2J) conjugated training rows.  One stacked
+    block-QR update replaces U per-unit recursions — the kernel shared by
+    the grid wrapper :func:`update_r_block` and the parallel hard weight
+    task, whose rank owns an arbitrary flat subset of units.
+    """
+    start = perf_counter() if kernel_counters.enabled else None
+    state[...] = qr_append_rows_stacked(state, training, forget=forget)
+    if start is not None:
+        from repro.stap.flops import qr_flops
+
+        # Table 1 charges the recursion's QR with the constraint rows too
+        # (see repro.stap.flops.hard_weight_flops); mirror that accounting
+        # here so update + solve sum to the paper's per-unit count.
+        num_units, rows, n2 = training.shape
+        flops = num_units * qr_flops(n2 + rows + n2 // 2, n2)
+        kernel_counters.record("hard_weight", perf_counter() - start, flops)
+
+
+def hard_constraint_blocks(
+    state: np.ndarray,
+    phases: np.ndarray,
+    beam_weight: float,
+    freq_weight: float,
+) -> np.ndarray:
+    """Phase-coupled constraint blocks for a flat axis of units.
+
+    ``state``: (U, 2J, 2J) R factors; ``phases``: (U,) stagger phases.
+    Returns (U, J, 2J) rows ``scale_u * [bw*I | fw*conj(p_u)*I]`` built by
+    broadcast + diagonal index assignment — no per-unit ``hstack``.  The
+    scale is the mean magnitude of each unit's R diagonal, clamped to 1
+    when the recursion has absorbed nothing yet.
+    """
+    num_units, n2, _ = state.shape
+    J = n2 // 2
+    diags = np.abs(np.diagonal(state, axis1=1, axis2=2))
+    scales = np.mean(diags, axis=1)
+    scales[scales <= 0.0] = 1.0
+    constraints = np.zeros((num_units, J, n2), dtype=complex)
+    diag = np.arange(J)
+    constraints[:, diag, diag] = (scales * beam_weight)[:, None]
+    coupling = scales * (freq_weight * np.conj(np.asarray(phases)))
+    constraints[:, diag, J + diag] = coupling[:, None]
+    return constraints
+
+
+def compute_hard_weights_units(
+    state: np.ndarray,
+    steering: np.ndarray,
+    phases: np.ndarray,
+    beam_weight: float,
+    freq_weight: float,
+) -> np.ndarray:
+    """Hard weights for a flat axis of units: (U, 2J, 2J) -> (U, 2J, M).
+
+    One stacked constrained solve over all units; bit identical to the
+    per-unit loop (see :func:`compute_hard_weights_loop`).
+    """
+    start = perf_counter() if kernel_counters.enabled else None
+    constraints = hard_constraint_blocks(state, phases, beam_weight, freq_weight)
+    weights = solve_constrained_stacked(state, constraints, steering)
+    if start is not None:
+        # The back-substitution share of Table 1's per-unit count; the QR
+        # share is credited to update_r_units (see comment there).
+        num_units, n2 = state.shape[0], state.shape[1]
+        flops = num_units * steering.shape[1] * 3.0 * n2 * n2
+        kernel_counters.record("hard_weight", perf_counter() - start, flops)
+    return weights
+
+
 def update_r_block(state: np.ndarray, training: np.ndarray, forget: float) -> None:
     """Absorb training rows into a block of R factors, in place.
 
     ``state``: (S, B, 2J, 2J) per-(segment, bin) R factors;
     ``training``: (S, B, rows, 2J) conjugated training rows.  The shared
     recursion kernel of the sequential reference and the parallel hard
-    weight task.
+    weight task; the (S, B) grid is flattened into one stacked axis so the
+    whole block updates in a single batched factorization.
     """
+    num_segments, num_bins, n2, _ = state.shape
+    flat = state.reshape(num_segments * num_bins, n2, n2)
+    update_r_units(flat, training.reshape(num_segments * num_bins, -1, n2), forget)
+
+
+def update_r_block_loop(
+    state: np.ndarray, training: np.ndarray, forget: float
+) -> None:
+    """Per-unit loop reference for :func:`update_r_block` (ground truth)."""
     num_segments, num_bins = state.shape[:2]
     for seg in range(num_segments):
         for bin_idx in range(num_bins):
@@ -98,6 +189,32 @@ def compute_hard_weights(
     ``p_n``, the J rows ``[bw*I | fw*conj(p_n)*I]`` with right-hand side
     ``w_s`` pull the solution toward the coherent staggered combiner
     ``[w_s; p_n w_s] / 2`` while the data R factor supplies clutter nulls.
+
+    The (S, B) grid is flattened and solved in one stacked call — the
+    phase vector is tiled across segments, mirroring the loop's reuse of
+    ``phases[bin_idx]`` in every segment.
+    """
+    num_segments, num_bins, n2, _ = state.shape
+    flat = state.reshape(num_segments * num_bins, n2, n2)
+    flat_phases = np.tile(np.asarray(phases), num_segments)
+    weights = compute_hard_weights_units(
+        flat, steering, flat_phases, beam_weight, freq_weight
+    )
+    return weights.reshape(num_segments, num_bins, n2, steering.shape[1])
+
+
+def compute_hard_weights_loop(
+    state: np.ndarray,
+    steering: np.ndarray,
+    phases: np.ndarray,
+    beam_weight: float,
+    freq_weight: float,
+) -> np.ndarray:
+    """Per-unit loop reference for :func:`compute_hard_weights`.
+
+    Retained as ground truth for the batched kernel's tests and for
+    measuring the batching win; one constraint build + constrained solve
+    per (segment, bin), exactly the pre-batching implementation.
     """
     num_segments, num_bins, n2, _ = state.shape
     J = n2 // 2
@@ -188,11 +305,9 @@ class HardWeightComputer:
             weights = np.empty(
                 (params.num_segments, params.num_hard_doppler, n2, M), dtype=complex
             )
-            for bin_idx, phase in enumerate(self._phases):
-                quiescent = quiescent_weights(
-                    self.steering, copies=2, phases=[1.0, phase]
-                )
-                weights[:, bin_idx] = quiescent[None, :, :]
+            weights[:] = quiescent_weights_stacked(self.steering, self._phases)[
+                None, :, :, :
+            ]
             return weights
         return compute_hard_weights(
             state,

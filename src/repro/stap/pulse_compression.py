@@ -14,9 +14,12 @@ move to the real power domain", halving the data and avoiding square roots.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.perf.kernels import kernel_counters
 from repro.radar.parameters import STAPParams
 from repro.radar.waveform import lfm_chirp, matched_filter_frequency_response
 
@@ -78,8 +81,21 @@ def pulse_compress_block(
         raise ConfigurationError(
             f"replica response length {replica_freq.shape} != ({K},)"
         )
+    start = perf_counter() if kernel_counters.enabled else None
     spectrum = np.fft.fft(beamformed, axis=2)
     spectrum *= replica_freq[None, None, :]
     compressed = np.fft.ifft(spectrum, axis=2)
     power = compressed.real**2 + compressed.imag**2
-    return power.astype(params.real_dtype)
+    # ``power`` is float64 (np.fft computes in double); copy=False returns
+    # it as-is for double-precision params instead of cloning the cube.
+    power = power.astype(params.real_dtype, copy=False)
+    if start is not None:
+        from repro.stap.flops import pulse_compression_flops
+
+        share = beamformed.shape[0] / params.num_doppler
+        kernel_counters.record(
+            "pulse_compression",
+            perf_counter() - start,
+            pulse_compression_flops(params) * share,
+        )
+    return power

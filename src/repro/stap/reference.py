@@ -33,7 +33,7 @@ from repro.stap.detection import DetectionReport
 from repro.stap.doppler import doppler_filter
 from repro.stap.easy_weights import EasyWeightComputer, extract_easy_training
 from repro.stap.hard_weights import HardWeightComputer, extract_hard_training
-from repro.stap.pulse_compression import pulse_compress, replica_response
+from repro.stap.pulse_compression import pulse_compress
 
 
 def default_steering(params: STAPParams) -> np.ndarray:
@@ -44,24 +44,38 @@ def default_steering(params: STAPParams) -> np.ndarray:
 class SequentialSTAP:
     """Process a CPI stream sequentially, maintaining weight state."""
 
-    def __init__(self, params: STAPParams, steering: Optional[np.ndarray] = None):
+    def __init__(
+        self,
+        params: STAPParams,
+        steering: Optional[np.ndarray] = None,
+        plan=None,
+    ):
+        """``plan``: optional prebuilt :class:`~repro.stap.plan.KernelPlan`
+        (for sharing with a pipeline under verification); built here when
+        absent.  Its steering matrix wins over the ``steering`` argument."""
+        from repro.stap.plan import KernelPlan
+
         self.params = params
-        self.steering = (
-            default_steering(params) if steering is None else np.asarray(steering)
-        )
+        if plan is None:
+            steering = (
+                default_steering(params) if steering is None else np.asarray(steering)
+            )
+            plan = KernelPlan.build(params, steering)
+        self.plan = plan
+        self.steering = plan.steering
         self.easy = EasyWeightComputer(params, self.steering)
         self.hard = HardWeightComputer(params, self.steering)
         # Pending weights per azimuth (computed after the previous visit).
         self._easy_weights: Dict[int, np.ndarray] = {}
         self._hard_weights: Dict[int, np.ndarray] = {}
-        self._replica = replica_response(params)
+        self._replica = plan.replica_freq
 
     # -- per-CPI processing -----------------------------------------------------
     def process(self, cube: CPIDataCube) -> DetectionReport:
         """Process one CPI; updates weight state for the next visit."""
         params = self.params
         azimuth = cube.azimuth
-        staggered = doppler_filter(cube)
+        staggered = doppler_filter(cube, window=self.plan.doppler_window)
 
         easy_w = self._easy_weights.get(azimuth)
         if easy_w is None:
@@ -77,7 +91,7 @@ class SequentialSTAP:
         beams = assemble_beamformed(easy_y, hard_y, params)
 
         power = pulse_compress(beams, params, self._replica)
-        detections = cfar_detect(power, params)
+        detections = cfar_detect(power, params, factor=self.plan.cfar_factor)
 
         # Train on this CPI for the *next* visit to this azimuth.
         self.easy.push_training(extract_easy_training(staggered, params), azimuth)

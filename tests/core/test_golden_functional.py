@@ -1,0 +1,68 @@
+"""Golden end-to-end check: the functional chain's detections are frozen.
+
+``tests/data/golden_functional_seed.json`` records, for one fixed scenario
+at tiny and small scale, every detection the *seed* (pre-batching)
+implementation produced over six CPIs — bin, beam, range cell, power, and
+threshold, to full float precision.  The batched kernels claim bit
+identity with the loops they replaced, so the current sequential reference
+must reproduce this file byte for byte.  Any numeric drift in the Doppler
+/ weight / beamform / pulse-compression / CFAR chain fails here first.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    CPIStream,
+    RadarScenario,
+    STAPParams,
+    SequentialSTAP,
+    TargetTruth,
+)
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_functional_seed.json"
+NUM_CPIS = 6
+
+
+def golden_scenario():
+    return RadarScenario(
+        clutter_to_noise_db=40.0,
+        targets=(
+            TargetTruth(range_cell=20, normalized_doppler=0.25, angle_deg=0.0, snr_db=5.0),
+            TargetTruth(range_cell=30, normalized_doppler=0.05, angle_deg=-10.0, snr_db=10.0),
+        ),
+        seed=11,
+    )
+
+
+def report_rows(report):
+    return [
+        [d.doppler_bin, d.beam, d.range_cell, d.power, d.threshold]
+        for d in report.detections
+    ]
+
+
+@pytest.mark.parametrize("scale", ["tiny", "small"])
+def test_detections_match_golden_seed(scale):
+    golden = json.loads(GOLDEN_PATH.read_text())[scale]
+    params = getattr(STAPParams, scale)()
+    reports = SequentialSTAP(params).process_stream(
+        CPIStream(params, golden_scenario()).take(NUM_CPIS)
+    )
+    assert len(reports) == len(golden) == NUM_CPIS
+    for report, expected in zip(reports, golden):
+        assert report.cpi_index == expected["cpi"]
+        assert report_rows(report) == expected["detections"], (
+            f"{scale} CPI {report.cpi_index}: detections drifted from the "
+            "golden seed output"
+        )
+
+
+def test_golden_file_is_nontrivial():
+    """Guard against an empty or truncated golden file passing vacuously."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    for scale in ("tiny", "small"):
+        total = sum(len(entry["detections"]) for entry in golden[scale])
+        assert total > 0, f"golden {scale} section contains no detections"

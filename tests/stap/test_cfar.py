@@ -132,6 +132,43 @@ class TestDetection:
         d = Detection(0, 0, 0, power=100.0, threshold=10.0)
         assert d.margin_db == pytest.approx(10.0)
 
+    def test_precomputed_factor_matches_pfa_path(self, params):
+        """The plan-supplied alpha/counts factor reproduces the pfa path."""
+        rng = np.random.default_rng(17)
+        power = rng.exponential(
+            1.0, size=(params.num_doppler, params.num_beams, params.num_ranges)
+        ).astype(params.real_dtype)
+        power[1, 1, 20] = 1e6
+        counts = reference_cell_counts(params)
+        factor = cfar_threshold_factor(counts, params.cfar_pfa) / counts
+        assert cfar_detect(power, params, factor=factor) == cfar_detect(power, params)
+
+    def test_factor_and_pfa_mutually_exclusive(self, params):
+        power = np.ones(
+            (params.num_doppler, params.num_beams, params.num_ranges),
+            dtype=params.real_dtype,
+        )
+        counts = reference_cell_counts(params)
+        factor = cfar_threshold_factor(counts, params.cfar_pfa) / counts
+        with pytest.raises(ConfigurationError):
+            cfar_detect(power, params, pfa=1e-4, factor=factor)
+        with pytest.raises(ConfigurationError):
+            cfar_detect(power, params, factor=factor[:-1])
+
+    def test_vectorized_assembly_fields(self, params):
+        """Each Detection carries its own power and threshold, sorted."""
+        rng = np.random.default_rng(23)
+        power = rng.exponential(
+            1.0, size=(params.num_doppler, params.num_beams, params.num_ranges)
+        ).astype(params.real_dtype)
+        power[0, 0, 10] = 1e6
+        power[5, 1, 40] = 1e6
+        hits = cfar_detect(power, params)
+        assert hits == sorted(hits)
+        for d in hits:
+            assert d.power == power[d.doppler_bin, d.beam, d.range_cell]
+            assert d.power > d.threshold > 0.0
+
     def test_validation(self, params):
         with pytest.raises(ConfigurationError):
             cfar_detect(np.zeros((2, 2, 2)), params)

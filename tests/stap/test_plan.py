@@ -1,0 +1,90 @@
+"""KernelPlan: CPI-invariant factors computed once, bit-equal to per-call."""
+
+import numpy as np
+import pytest
+
+from repro.radar import STAPParams, window_by_name
+from repro.stap.cfar import cfar_threshold_factor, reference_cell_counts
+from repro.stap.doppler import stagger_phase
+from repro.stap.lsq import quiescent_weights, quiescent_weights_stacked
+from repro.stap.plan import KernelPlan, build_kernel_plan
+from repro.stap.pulse_compression import replica_response
+from repro.stap.reference import SequentialSTAP, default_steering
+
+
+@pytest.fixture
+def params():
+    return STAPParams.tiny()
+
+
+@pytest.fixture
+def plan(params):
+    return KernelPlan.build(params, default_steering(params))
+
+
+class TestBuild:
+    def test_shapes(self, params, plan):
+        J, M = params.num_channels, params.num_beams
+        N, K = params.num_doppler, params.num_ranges
+        assert plan.steering.shape == (J, M)
+        assert plan.easy_quiescent.shape == (J, M)
+        assert plan.stagger_phases.shape == (N,)
+        assert plan.hard_quiescent.shape == (N, 2 * J, M)
+        assert plan.doppler_window.shape == (params.num_pulses - params.stagger,)
+        assert plan.replica_freq.shape == (K,)
+        assert plan.cfar_counts.shape == (K,)
+        assert plan.cfar_alpha.shape == (K,)
+        assert plan.cfar_factor.shape == (K,)
+
+    def test_entries_equal_per_call_computation(self, params, plan):
+        """Each plan field is exactly what the kernels used to recompute."""
+        steering = plan.steering
+        assert np.array_equal(plan.easy_quiescent, quiescent_weights(steering))
+        phases = stagger_phase(params, np.arange(params.num_doppler))
+        assert np.array_equal(plan.stagger_phases, phases)
+        assert np.array_equal(
+            plan.hard_quiescent, quiescent_weights_stacked(steering, phases)
+        )
+        win = window_by_name(params.window, params.num_pulses - params.stagger)
+        assert np.array_equal(plan.doppler_window, win.astype(params.real_dtype))
+        assert np.array_equal(plan.replica_freq, replica_response(params))
+        counts = reference_cell_counts(params)
+        alpha = cfar_threshold_factor(counts, params.cfar_pfa)
+        assert np.array_equal(plan.cfar_counts, counts)
+        assert np.array_equal(plan.cfar_alpha, alpha)
+        assert np.array_equal(plan.cfar_factor, alpha / counts)
+
+    def test_functional_spelling(self, params):
+        steering = default_steering(params)
+        a = KernelPlan.build(params, steering)
+        b = build_kernel_plan(params, steering)
+        assert np.array_equal(a.replica_freq, b.replica_freq)
+        assert np.array_equal(a.hard_quiescent, b.hard_quiescent)
+
+    def test_frozen(self, plan):
+        with pytest.raises(AttributeError):
+            plan.steering = plan.steering
+
+
+class TestSharing:
+    def test_reference_builds_plan_when_absent(self, params):
+        ref = SequentialSTAP(params)
+        assert isinstance(ref.plan, KernelPlan)
+        assert ref.plan.params is params
+
+    def test_reference_adopts_supplied_plan(self, params, plan):
+        ref = SequentialSTAP(params, plan=plan)
+        assert ref.plan is plan
+        # The plan's steering wins over the steering argument.
+        other = np.zeros_like(plan.steering)
+        ref2 = SequentialSTAP(params, steering=other, plan=plan)
+        assert ref2.steering is plan.steering
+
+    def test_bin_slices_match_per_bin_computation(self, params, plan):
+        """Slicing full-extent plan arrays equals computing just those bins."""
+        bins = params.hard_bins[: max(1, len(params.hard_bins) // 2)]
+        assert np.array_equal(plan.stagger_phases[bins], stagger_phase(params, bins))
+        assert np.array_equal(
+            plan.hard_quiescent[bins],
+            quiescent_weights_stacked(plan.steering, stagger_phase(params, bins)),
+        )

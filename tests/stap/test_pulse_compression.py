@@ -74,6 +74,40 @@ class TestBlocks:
             pulse_compress(cube, params, np.zeros(3))
 
 
+class _AstypeCountingArray(np.ndarray):
+    """ndarray that records whether astype copied the underlying buffer."""
+
+    copies = 0
+
+    def astype(self, dtype, *args, **kwargs):
+        result = super().astype(dtype, *args, **kwargs)
+        if result.__array_interface__["data"][0] != self.__array_interface__["data"][0]:
+            _AstypeCountingArray.copies += 1
+        return result
+
+
+class TestNoCopy:
+    def test_power_cube_not_cloned(self, monkeypatch):
+        """The final astype must be a no-op view when dtypes already match.
+
+        The power cube is the largest array of the pulse-compression task;
+        the regression this guards is ``astype`` silently cloning it every
+        CPI.  The magnitude-square of ``np.fft.ifft`` output is float64, so
+        with float64 ``real_dtype`` the cast must return the same buffer.
+        """
+        params = STAPParams.tiny().with_overrides(dtype="complex128")
+        assert np.dtype(params.real_dtype) == np.float64
+        real_ifft = np.fft.ifft
+
+        def counting_ifft(*args, **kwargs):
+            return real_ifft(*args, **kwargs).view(_AstypeCountingArray)
+
+        monkeypatch.setattr(np.fft, "ifft", counting_ifft)
+        _AstypeCountingArray.copies = 0
+        pulse_compress(cube_with_pulse_at(params, 9), params)
+        assert _AstypeCountingArray.copies == 0
+
+
 class TestGain:
     def test_compression_gain_over_noise(self, params):
         """Matched filtering improves pulse-to-noise contrast by ~L."""
