@@ -64,12 +64,17 @@ def _merge_results(updates: dict) -> None:
     RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
 
 
-def measure_case(case_key: str, num_cpis: int = NUM_CPIS, trace: bool = False) -> dict:
+def measure_case(
+    case_key: str,
+    num_cpis: int = NUM_CPIS,
+    trace: bool = False,
+    backend: str | None = None,
+) -> dict:
     """One perf-instrumented modeled run; returns the JSON-ready record."""
     assignment = CASES[case_key]
     pipeline = STAPPipeline(
         STAPParams.paper(), assignment, num_cpis=num_cpis, perf=True,
-        trace=trace,
+        trace=trace, backend=backend,
     )
     result = pipeline.run()
     perf = result.perf
@@ -81,6 +86,68 @@ def measure_case(case_key: str, num_cpis: int = NUM_CPIS, trace: bool = False) -
         throughput_cpis_per_s=result.metrics.measured_throughput,
     )
     return record
+
+
+# -- backend scaling sweep --------------------------------------------------------
+#: CPIs per scaling-sweep run: enough events for a stable events/s figure
+#: without the 1024-rank pure-Python run dominating the whole benchmark.
+SCALING_CPIS = 10
+
+#: Rank counts of the sweep: the three Table 7 assignments (59/118/236
+#: nodes), the full 321-node AFRL Paragon, and a hypothetical 1024-node
+#: 32x32 mesh with Paragon-calibrated nodes and links.
+def _scaling_configs() -> list[tuple[str, object, object]]:
+    """(label, assignment, machine) rows; machine None = default Paragon."""
+    from repro.machine import Machine, Mesh2D, NodeModel, afrl_paragon
+    from repro.machine.paragon import (
+        PARAGON_NETWORK,
+        PARAGON_PACKING,
+        PARAGON_RATES,
+    )
+    from repro.scheduling import AnalyticPipelineModel, optimize_throughput
+
+    params = STAPParams.paper()
+    configs: list[tuple[str, object, object]] = [
+        (key, CASES[key], None) for key in CASE_ORDER
+    ]
+    paragon321 = optimize_throughput(
+        AnalyticPipelineModel(params, afrl_paragon()), 321, name="paragon-321"
+    )
+    configs.append(("paragon321", paragon321, None))
+    mesh1024 = Machine(
+        mesh=Mesh2D(32, 32),
+        node=NodeModel(rates=PARAGON_RATES, processors_per_node=1),
+        network_cost=PARAGON_NETWORK,
+        packing_cost=PARAGON_PACKING,
+        name="hypothetical 1024-node mesh",
+    )
+    big = optimize_throughput(
+        AnalyticPipelineModel(params, mesh1024), 1024, name="mesh-1024"
+    )
+    configs.append(("mesh1024", big, mesh1024))
+    return configs
+
+
+def measure_backend_scaling(num_cpis: int = SCALING_CPIS) -> list[dict]:
+    """Events/s of every available backend across the five machine scales."""
+    from repro.des.backends import available_backends
+
+    records = []
+    for label, assignment, machine in _scaling_configs():
+        for backend in available_backends():
+            pipeline = STAPPipeline(
+                STAPParams.paper(), assignment, machine=machine,
+                num_cpis=num_cpis, perf=True, backend=backend,
+            )
+            result = pipeline.run()
+            record = result.perf.to_dict()
+            record.update(
+                config=label,
+                ranks=assignment.total_nodes,
+                makespan=result.makespan,
+            )
+            records.append(record)
+    return records
 
 
 def measure_all_cases() -> list[dict]:
@@ -170,6 +237,37 @@ def test_simspeed_smoke():
     assert {r["case"] for r in runs} == set(CASES)
     assert elapsed < 60.0, f"smoke benchmark took {elapsed:.1f}s (budget 60s)"
     assert all(r["probes_per_message"] < 2.0 for r in runs)
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.backends
+def test_backend_speed_guard():
+    """The lowered core must not be slower than the reference engine.
+
+    Table 7 case 1 (236 nodes) is the scale the backends exist for; the
+    acceptance bar is >= 2x, but on a noisy shared host this guard asserts
+    the conservative invariant (lowered >= python events/s, best of two
+    interleaved trials) so it never flakes while still catching a lowered
+    core that regressed onto the slow path.
+    """
+    trials = {"python": [], "lowered": []}
+    for _ in range(2):
+        for backend in ("python", "lowered"):
+            record = measure_case("case1", num_cpis=8, backend=backend)
+            assert record["backend"] == backend
+            trials[backend].append(record["events_per_second"])
+    python_best = max(trials["python"])
+    lowered_best = max(trials["lowered"])
+    ratio = lowered_best / python_best if python_best else 0.0
+    print()
+    print(
+        f"case1 events/s: python {python_best:9.0f}, lowered {lowered_best:9.0f} "
+        f"({ratio:.2f}x)"
+    )
+    assert lowered_best >= python_best, (
+        f"lowered backend slower than reference: {lowered_best:.0f} vs "
+        f"{python_best:.0f} events/s"
+    )
 
 
 @pytest.mark.bench_smoke
@@ -282,6 +380,9 @@ def main(argv=None) -> int:
     rest = list(argv)
     if "--full" in rest:
         rest.remove("--full")  # historical flag; all cases always run now
+    backends_only = "--backends" in rest
+    if backends_only:
+        rest.remove("--backends")
     if "--jobs" in rest:
         at = rest.index("--jobs")
         try:
@@ -291,23 +392,32 @@ def main(argv=None) -> int:
             print("--jobs needs an integer argument", file=sys.stderr)
             return 2
     if rest:
-        print(f"usage: {Path(__file__).name} [--jobs N]", file=sys.stderr)
+        print(f"usage: {Path(__file__).name} [--jobs N] [--backends]", file=sys.stderr)
         print(f"unknown arguments: {' '.join(rest)}", file=sys.stderr)
         return 2
 
-    runs = []
-    for key in CASE_ORDER:
-        record = measure_case(key)
-        _print_record(record)
-        runs.append(record)
+    if not backends_only:
+        runs = []
+        for key in CASE_ORDER:
+            record = measure_case(key)
+            _print_record(record)
+            runs.append(record)
 
-    comparison = measure_exec_comparison(jobs)
-    print(f"executor: serial {comparison['serial_wall_seconds']:6.2f} s, "
-          f"jobs={jobs} {comparison['parallel_wall_seconds']:6.2f} s, "
-          f"speedup {comparison['speedup']:.2f}x "
-          f"({comparison['usable_cpus']} usable CPUs)")
+        comparison = measure_exec_comparison(jobs)
+        print(f"executor: serial {comparison['serial_wall_seconds']:6.2f} s, "
+              f"jobs={jobs} {comparison['parallel_wall_seconds']:6.2f} s, "
+              f"speedup {comparison['speedup']:.2f}x "
+              f"({comparison['usable_cpus']} usable CPUs)")
+        _merge_results({"runs": runs, "exec": comparison})
 
-    _merge_results({"runs": runs, "exec": comparison})
+    scaling = measure_backend_scaling()
+    for record in scaling:
+        print(
+            f"{record['config']:>10} ({record['ranks']:4d} ranks) "
+            f"{record['backend']:>8}: {record['wall_seconds']:6.2f} s wall, "
+            f"{record['events_per_second']:9.0f} events/s"
+        )
+    _merge_results({"backends": {"num_cpis": SCALING_CPIS, "runs": scaling}})
     print(f"wrote {RESULTS_PATH}")
     return 0
 

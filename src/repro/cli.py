@@ -60,7 +60,7 @@ def cmd_case(args) -> int:
     trace = bool(args.trace_out or args.report)
     pipeline = STAPPipeline(
         STAPParams.paper(), assignment, num_cpis=args.cpis, perf=args.perf,
-        trace=trace,
+        trace=trace, backend=args.backend,
     )
     result = pipeline.run_measured() if args.measured else pipeline.run()
     print(result.metrics.table(f"=== {assignment.name} ==="))
@@ -84,7 +84,8 @@ def cmd_case(args) -> int:
 
         _, stats = profile_run(
             STAPPipeline(
-                STAPParams.paper(), assignment, num_cpis=args.cpis
+                STAPParams.paper(), assignment, num_cpis=args.cpis,
+                backend=args.backend,
             ).run,
             sort="tottime",
         )
@@ -185,6 +186,7 @@ def cmd_sweep(args) -> int:
         nodes = [int(n) for n in args.nodes.split(",")]
         series = speedup_series(
             args.task, nodes, num_cpis=args.cpis, jobs=args.jobs, cache=cache,
+            backend=args.backend,
         )
         print(f"=== Figure 11 series: {args.task} "
               f"(jobs={args.jobs}, {len(series)} points) ===")
@@ -198,7 +200,7 @@ def cmd_sweep(args) -> int:
         budgets = [int(b) for b in args.budgets.split(",")]
         curve = scalability_curve(
             budgets, num_cpis=args.cpis, measured=args.measured,
-            jobs=args.jobs, cache=cache,
+            jobs=args.jobs, cache=cache, backend=args.backend,
         )
         print(f"=== scalability curve (jobs={args.jobs}, "
               f"{len(curve)} points) ===")
@@ -242,6 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="two-phase paced latency measurement")
     p_case.add_argument("--perf", action="store_true",
                         help="report the simulator's own wall-clock cost")
+    p_case.add_argument("--backend",
+                        choices=("python", "lowered", "compiled", "auto"),
+                        default=None,
+                        help="simulator core (default: the reference "
+                             "python engine; 'auto' picks the fastest "
+                             "available)")
     p_case.add_argument("--profile", action="store_true",
                         help="re-run the case under cProfile and print "
                              "the hottest functions")
@@ -306,6 +314,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="persist results on disk (content-addressed)")
     p_sw.add_argument("--no-cache", action="store_true",
                       help="disable the result cache entirely")
+    p_sw.add_argument("--backend",
+                      choices=("python", "lowered", "compiled", "auto"),
+                      default=None,
+                      help="simulator core for every point of the sweep")
     p_sw.set_defaults(fn=cmd_sweep)
 
     p_tl = sub.add_parser("timeline", help="ASCII Gantt of a pipeline run")

@@ -90,6 +90,7 @@ class STAPPipeline:
         collect_training: bool = True,
         perf: bool = False,
         trace=False,
+        backend: Optional[str] = None,
     ):
         """``input_rate``: CPIs/second delivered by the radar front-end
         (None = data always available; the pipeline self-paces, measuring
@@ -112,7 +113,13 @@ class STAPPipeline:
         task iteration, per-message MPI lifecycles, and per-link network
         stats — purely passively, so modeled timestamps are identical
         with tracing on or off.  Off by default (one ``is None`` check
-        per iteration/message/transfer)."""
+        per iteration/message/transfer).
+
+        ``backend``: simulator core (see :mod:`repro.des.backends`):
+        ``"python"`` (reference, the default), ``"lowered"`` (plan-lowered
+        hot path), ``"compiled"`` (C extension; errors if not built), or
+        ``"auto"`` (fastest available).  All backends produce bit-identical
+        results; the resolved name is available as ``self.backend``."""
         if mode not in ("modeled", "functional"):
             raise ConfigurationError(f"mode must be 'modeled' or 'functional', got {mode!r}")
         if num_cpis < 1:
@@ -143,6 +150,12 @@ class STAPPipeline:
         self.double_buffering = double_buffering
         self.collect_training = collect_training
         self.perf = perf
+        from repro.des.backends import resolve_backend
+
+        #: The backend name as requested (None/"auto" preserved for clones).
+        self.requested_backend = backend
+        #: The resolved, concrete backend this pipeline will run on.
+        self.backend = resolve_backend(backend)
         # Explicit identity checks: an *empty* TraceSink has ``__len__`` 0
         # and is falsy, but a caller passing one still wants tracing.
         if trace is True:
@@ -228,12 +241,16 @@ class STAPPipeline:
     # -- execution ---------------------------------------------------------------------
     def run(self) -> PipelineResult:
         """Simulate the whole run and aggregate the paper's measurements."""
-        sim = Simulator()
+        from repro.des.backends import get_backend
+
+        engine = get_backend(self.backend)
+        sim = engine.create_simulator()
         world = World(
             sim,
             self.machine,
             num_ranks=self.assignment.total_nodes,
             contention=self.contention,
+            backend=engine,
         )
         collector = Collector()
         tasks = self._build_tasks(collector)
@@ -315,6 +332,7 @@ class STAPPipeline:
             collect_training=self.collect_training,
             perf=self.perf,
             trace=trace,
+            backend=self.requested_backend,
         )
 
     # -- measurement -------------------------------------------------------------------

@@ -1,0 +1,1267 @@
+/* _despeed: the optional C core behind the "compiled" simulator backend.
+ *
+ * The module operates on the *existing* engine state — the heap is still
+ * ``sim._queue`` (a Python list of ``(time, priority, seq, event)`` tuples),
+ * so every Python-side ``heappush`` call site keeps working and pure-Python
+ * code can inspect or drive the same queue mid-run.  What moves to C:
+ *
+ *   - the heap sift/pop/push operations (same comparison predicate as the
+ *     tuple ``__lt__`` Python heapq uses: time, then priority, then the
+ *     unique sequence number — the event object is never compared);
+ *   - the network slot-record state machine (CTransfer + NetState), a
+ *     native twin of ``repro.des.backends.lowered``;
+ *   - the generic-event dispatch (callbacks list swap, PROCESSED mark,
+ *     failure propagation, timeout-pool recycle).
+ *
+ * Bit-identity contract: every push made here consumes exactly the
+ * sequence numbers the reference engine would, in the same order, at the
+ * same times and priorities.  ``sim._seq`` and ``sim._now`` are synced out
+ * before control re-enters Python (event callbacks, ``done.succeed()``,
+ * matched delivery) and reloaded after, mirroring the lowered backend's
+ * ``_run_inlined``.  On an exception raised *by Python code*, the attribute
+ * value is authoritative and is reloaded before finalizing; on an internal
+ * C failure the local counter is authoritative and is written back.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+/* Slot-record stages; values mirror repro.des.backends.lowered. */
+#define STAGE_START 0
+#define STAGE_ACQ1 1
+#define STAGE_ACQ2 2
+#define STAGE_RELEASE 3
+#define STAGE_DELAY 4
+#define STAGE_DELAY_DONE 5
+#define STAGE_DELIVER 6
+
+#define RECORD_POOL_MAX 1024
+#define TIMEOUT_POOL_MAX 1024
+
+/* ---- cached names and runtime objects ---------------------------------- */
+
+static PyObject *s__seq, *s__now, *s__queue, *s__timeout_pool;
+static PyObject *s_events_processed, *s_callbacks, *s__state, *s__ok;
+static PyObject *s__value, *s_defused, *s__pooled, *s_step, *s_succeed;
+static PyObject *long_one;        /* cached int 1: the NORMAL priority   */
+static PyObject *str_processed;   /* repro.des.event.PROCESSED (lazy)    */
+static PyObject *py_transfer_cls; /* lowered._Transfer class (lazy)      */
+
+static int
+ensure_runtime(void)
+{
+    PyObject *mod;
+    if (str_processed != NULL && py_transfer_cls != NULL)
+        return 0;
+    if (str_processed == NULL) {
+        mod = PyImport_ImportModule("repro.des.event");
+        if (mod == NULL)
+            return -1;
+        str_processed = PyObject_GetAttrString(mod, "PROCESSED");
+        Py_DECREF(mod);
+        if (str_processed == NULL)
+            return -1;
+    }
+    if (py_transfer_cls == NULL) {
+        mod = PyImport_ImportModule("repro.des.backends.lowered");
+        if (mod == NULL)
+            return -1;
+        py_transfer_cls = PyObject_GetAttrString(mod, "_Transfer");
+        Py_DECREF(mod);
+        if (py_transfer_cls == NULL)
+            return -1;
+    }
+    return 0;
+}
+
+/* ---- small attribute helpers ------------------------------------------- */
+
+static int
+set_long_attr(PyObject *obj, PyObject *name, long value)
+{
+    PyObject *num = PyLong_FromLong(value);
+    int rc;
+    if (num == NULL)
+        return -1;
+    rc = PyObject_SetAttr(obj, name, num);
+    Py_DECREF(num);
+    return rc;
+}
+
+static int
+set_double_attr(PyObject *obj, PyObject *name, double value)
+{
+    PyObject *num = PyFloat_FromDouble(value);
+    int rc;
+    if (num == NULL)
+        return -1;
+    rc = PyObject_SetAttr(obj, name, num);
+    Py_DECREF(num);
+    return rc;
+}
+
+static int
+get_long_attr(PyObject *obj, PyObject *name, long *out)
+{
+    PyObject *val = PyObject_GetAttr(obj, name);
+    if (val == NULL)
+        return -1;
+    *out = PyLong_AsLong(val);
+    Py_DECREF(val);
+    if (*out == -1 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+static int
+get_double_attr(PyObject *obj, PyObject *name, double *out)
+{
+    PyObject *val = PyObject_GetAttr(obj, name);
+    if (val == NULL)
+        return -1;
+    *out = PyFloat_AsDouble(val);
+    Py_DECREF(val);
+    if (*out == -1.0 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+/* ---- heap operations on the engine's list of tuples -------------------- */
+
+static double
+item_time(PyObject *tup, int *err)
+{
+    PyObject *t = PyTuple_GET_ITEM(tup, 0);
+    double v;
+    if (PyFloat_CheckExact(t))
+        return PyFloat_AS_DOUBLE(t);
+    v = PyFloat_AsDouble(t);
+    if (v == -1.0 && PyErr_Occurred())
+        *err = 1;
+    return v;
+}
+
+/* a < b under the engine's (time, priority, seq) key.  Returns 1/0, or -1
+ * on error.  Never calls back into Python: all fields are floats/ints, so
+ * the heap cannot mutate mid-comparison. */
+static int
+tup_lt(PyObject *a, PyObject *b)
+{
+    double ta, tb;
+    long pa, pb, sa, sb;
+    int err = 0;
+    if (!PyTuple_CheckExact(a) || PyTuple_GET_SIZE(a) < 4 ||
+        !PyTuple_CheckExact(b) || PyTuple_GET_SIZE(b) < 4) {
+        PyErr_SetString(PyExc_TypeError,
+                        "heap items must be (time, priority, seq, event) tuples");
+        return -1;
+    }
+    ta = item_time(a, &err);
+    tb = item_time(b, &err);
+    if (err)
+        return -1;
+    if (ta < tb)
+        return 1;
+    if (ta > tb)
+        return 0;
+    pa = PyLong_AsLong(PyTuple_GET_ITEM(a, 1));
+    pb = PyLong_AsLong(PyTuple_GET_ITEM(b, 1));
+    if ((pa == -1 || pb == -1) && PyErr_Occurred())
+        return -1;
+    if (pa < pb)
+        return 1;
+    if (pa > pb)
+        return 0;
+    sa = PyLong_AsLong(PyTuple_GET_ITEM(a, 2));
+    sb = PyLong_AsLong(PyTuple_GET_ITEM(b, 2));
+    if ((sa == -1 || sb == -1) && PyErr_Occurred())
+        return -1;
+    return sa < sb;
+}
+
+/* The sift loops move references between slots without touching refcounts;
+ * tup_lt cannot run Python code, so the transiently-inconsistent list is
+ * never observable. */
+static int
+heap_siftdown(PyObject *heap, Py_ssize_t startpos, Py_ssize_t pos)
+{
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    while (pos > startpos) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        PyObject *parent = PyList_GET_ITEM(heap, parentpos);
+        int lt = tup_lt(newitem, parent);
+        if (lt < 0)
+            return -1;
+        if (!lt)
+            break;
+        PyList_SET_ITEM(heap, pos, parent);
+        pos = parentpos;
+    }
+    PyList_SET_ITEM(heap, pos, newitem);
+    return 0;
+}
+
+static int
+heap_siftup(PyObject *heap, Py_ssize_t pos)
+{
+    Py_ssize_t endpos = PyList_GET_SIZE(heap);
+    Py_ssize_t startpos = pos;
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_ssize_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        Py_ssize_t rightpos = childpos + 1;
+        if (rightpos < endpos) {
+            int lt = tup_lt(PyList_GET_ITEM(heap, childpos),
+                            PyList_GET_ITEM(heap, rightpos));
+            if (lt < 0)
+                return -1;
+            if (!lt)
+                childpos = rightpos;
+        }
+        PyList_SET_ITEM(heap, pos, PyList_GET_ITEM(heap, childpos));
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    PyList_SET_ITEM(heap, pos, newitem);
+    return heap_siftdown(heap, startpos, pos);
+}
+
+/* Pop the smallest item; returns a new reference, NULL on error. */
+static PyObject *
+heap_pop(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap) - 1;
+    PyObject *last = PyList_GET_ITEM(heap, n);
+    PyObject *ret;
+    Py_INCREF(last);
+    if (PyList_SetSlice(heap, n, n + 1, NULL) < 0) {
+        Py_DECREF(last);
+        return NULL;
+    }
+    if (n == 0)
+        return last;
+    ret = PyList_GET_ITEM(heap, 0); /* ref transfers to us via SET_ITEM */
+    PyList_SET_ITEM(heap, 0, last);
+    if (heap_siftup(heap, 0) < 0) {
+        Py_DECREF(ret);
+        return NULL;
+    }
+    return ret;
+}
+
+/* Push (t, 1, seq, event); borrows event. */
+static int
+heap_push_event(PyObject *heap, double t, long seq, PyObject *event)
+{
+    PyObject *tup = PyTuple_New(4);
+    PyObject *tf, *ts;
+    if (tup == NULL)
+        return -1;
+    tf = PyFloat_FromDouble(t);
+    ts = PyLong_FromLong(seq);
+    if (tf == NULL || ts == NULL) {
+        Py_XDECREF(tf);
+        Py_XDECREF(ts);
+        Py_DECREF(tup);
+        return -1;
+    }
+    PyTuple_SET_ITEM(tup, 0, tf);
+    Py_INCREF(long_one);
+    PyTuple_SET_ITEM(tup, 1, long_one);
+    PyTuple_SET_ITEM(tup, 2, ts);
+    Py_INCREF(event);
+    PyTuple_SET_ITEM(tup, 3, event);
+    if (PyList_Append(heap, tup) < 0) {
+        Py_DECREF(tup);
+        return -1;
+    }
+    Py_DECREF(tup);
+    return heap_siftdown(heap, 0, PyList_GET_SIZE(heap) - 1);
+}
+
+/* ---- CTransfer: the native slot record --------------------------------- */
+
+typedef struct {
+    PyObject_HEAD
+    int stage;
+    int port1;
+    int port2;
+    double hold;
+    double wait_since;
+    PyObject *owner;   /* the NetState that scheduled this record */
+    PyObject *pending; /* matched fast path: PendingSend */
+    PyObject *recv;    /* matched fast path: RecvRequest */
+    PyObject *done;    /* generic path: completion Event */
+} CTransfer;
+
+static PyTypeObject CTransferType;
+
+static void
+CTransfer_dealloc(CTransfer *self)
+{
+    PyObject_GC_UnTrack(self);
+    Py_XDECREF(self->owner);
+    Py_XDECREF(self->pending);
+    Py_XDECREF(self->recv);
+    Py_XDECREF(self->done);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+CTransfer_traverse(CTransfer *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->owner);
+    Py_VISIT(self->pending);
+    Py_VISIT(self->recv);
+    Py_VISIT(self->done);
+    return 0;
+}
+
+static int
+CTransfer_clear(CTransfer *self)
+{
+    Py_CLEAR(self->owner);
+    Py_CLEAR(self->pending);
+    Py_CLEAR(self->recv);
+    Py_CLEAR(self->done);
+    return 0;
+}
+
+/* name/callbacks keep defensively-attached tracers and diagnostics from
+ * crashing on a record, mirroring the Python _Transfer class attrs. */
+static PyObject *
+CTransfer_get_name(CTransfer *self, void *closure)
+{
+    return PyUnicode_FromString("xfer[slot]");
+}
+
+static PyObject *
+CTransfer_get_callbacks(CTransfer *self, void *closure)
+{
+    return PyTuple_New(0);
+}
+
+static PyObject *
+CTransfer_repr(CTransfer *self)
+{
+    return PyUnicode_FromFormat("<CTransfer stage=%d ports=(%d,%d)>",
+                                self->stage, self->port1, self->port2);
+}
+
+static PyMemberDef CTransfer_members[] = {
+    {"stage", T_INT, offsetof(CTransfer, stage), READONLY,
+     "current state-machine stage"},
+    {"port1", T_INT, offsetof(CTransfer, port1), READONLY, NULL},
+    {"port2", T_INT, offsetof(CTransfer, port2), READONLY, NULL},
+    {"hold", T_DOUBLE, offsetof(CTransfer, hold), READONLY, NULL},
+    {"wait_since", T_DOUBLE, offsetof(CTransfer, wait_since), READONLY, NULL},
+    {NULL},
+};
+
+static PyGetSetDef CTransfer_getset[] = {
+    {"name", (getter)CTransfer_get_name, NULL, NULL, NULL},
+    {"callbacks", (getter)CTransfer_get_callbacks, NULL, NULL, NULL},
+    {NULL},
+};
+
+static PyTypeObject CTransferType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.des._despeed.CTransfer",
+    .tp_basicsize = sizeof(CTransfer),
+    .tp_dealloc = (destructor)CTransfer_dealloc,
+    .tp_repr = (reprfunc)CTransfer_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Native in-flight transfer slot record (created only in C).",
+    .tp_traverse = (traverseproc)CTransfer_traverse,
+    .tp_clear = (inquiry)CTransfer_clear,
+    .tp_members = CTransfer_members,
+    .tp_getset = CTransfer_getset,
+};
+
+/* ---- NetState: native port tables + record pool ------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    Py_ssize_t nports;
+    char *in_use;
+    long *grants;
+    double *wait_time;
+    PyObject **waiters; /* per-port PyList of waiting CTransfers, or NULL */
+    PyObject *deliver;  /* matched-delivery callable bound by the World */
+    PyObject *pool[RECORD_POOL_MAX];
+    int pool_len;
+} NetState;
+
+static PyTypeObject NetStateType;
+
+static PyObject *
+NetState_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    Py_ssize_t nports;
+    Py_ssize_t alloc;
+    NetState *self;
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) > 0) {
+        PyErr_SetString(PyExc_TypeError, "NetState() takes no keyword arguments");
+        return NULL;
+    }
+    if (!PyArg_ParseTuple(args, "n:NetState", &nports))
+        return NULL;
+    if (nports < 0) {
+        PyErr_SetString(PyExc_ValueError, "NetState: negative port count");
+        return NULL;
+    }
+    self = (NetState *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->nports = nports;
+    alloc = nports > 0 ? nports : 1;
+    self->in_use = PyMem_Calloc((size_t)alloc, 1);
+    self->grants = PyMem_Calloc((size_t)alloc, sizeof(long));
+    self->wait_time = PyMem_Calloc((size_t)alloc, sizeof(double));
+    self->waiters = PyMem_Calloc((size_t)alloc, sizeof(PyObject *));
+    if (self->in_use == NULL || self->grants == NULL ||
+        self->wait_time == NULL || self->waiters == NULL) {
+        Py_DECREF(self);
+        PyErr_NoMemory();
+        return NULL;
+    }
+    self->deliver = NULL;
+    self->pool_len = 0;
+    return (PyObject *)self;
+}
+
+static int
+NetState_traverse(NetState *self, visitproc visit, void *arg)
+{
+    Py_ssize_t i;
+    int k;
+    Py_VISIT(self->deliver);
+    if (self->waiters != NULL)
+        for (i = 0; i < self->nports; i++)
+            Py_VISIT(self->waiters[i]);
+    for (k = 0; k < self->pool_len; k++)
+        Py_VISIT(self->pool[k]);
+    return 0;
+}
+
+static int
+NetState_clear(NetState *self)
+{
+    Py_ssize_t i;
+    Py_CLEAR(self->deliver);
+    if (self->waiters != NULL)
+        for (i = 0; i < self->nports; i++)
+            Py_CLEAR(self->waiters[i]);
+    while (self->pool_len > 0)
+        Py_CLEAR(self->pool[--self->pool_len]);
+    return 0;
+}
+
+static void
+NetState_dealloc(NetState *self)
+{
+    PyObject_GC_UnTrack(self);
+    NetState_clear(self);
+    PyMem_Free(self->in_use);
+    PyMem_Free(self->grants);
+    PyMem_Free(self->wait_time);
+    PyMem_Free(self->waiters);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static CTransfer *
+pool_get_or_new(NetState *ns)
+{
+    CTransfer *rec;
+    if (ns->pool_len > 0)
+        return (CTransfer *)ns->pool[--ns->pool_len]; /* ref moves to caller */
+    rec = PyObject_GC_New(CTransfer, &CTransferType);
+    if (rec == NULL)
+        return NULL;
+    rec->stage = 0;
+    rec->port1 = 0;
+    rec->port2 = 0;
+    rec->hold = 0.0;
+    rec->wait_since = 0.0;
+    Py_INCREF(ns);
+    rec->owner = (PyObject *)ns;
+    rec->pending = NULL;
+    rec->recv = NULL;
+    rec->done = NULL;
+    PyObject_GC_Track(rec);
+    return rec;
+}
+
+static void
+pool_put(NetState *ns, CTransfer *rec)
+{
+    if (ns->pool_len < RECORD_POOL_MAX) {
+        Py_INCREF(rec);
+        ns->pool[ns->pool_len++] = (PyObject *)rec;
+    }
+}
+
+/* push_transfer(sim, stage, port1, port2, hold, pending, recv, done):
+ * the deferral push — one sequence number at (now, NORMAL), exactly the
+ * reference path's pooled_timeout(0.0). */
+static PyObject *
+NetState_push_transfer(NetState *ns, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *sim, *queue;
+    CTransfer *rec;
+    long stage, port1, port2, seq;
+    double hold, now;
+    int rc;
+    if (nargs != 8) {
+        PyErr_SetString(PyExc_TypeError,
+                        "push_transfer(sim, stage, port1, port2, hold, "
+                        "pending, recv, done)");
+        return NULL;
+    }
+    sim = args[0];
+    stage = PyLong_AsLong(args[1]);
+    port1 = PyLong_AsLong(args[2]);
+    port2 = PyLong_AsLong(args[3]);
+    if ((stage == -1 || port1 == -1 || port2 == -1) && PyErr_Occurred())
+        return NULL;
+    hold = PyFloat_AsDouble(args[4]);
+    if (hold == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (port1 < 0 || port1 >= (ns->nports > 0 ? ns->nports : 1) ||
+        port2 < 0 || port2 >= (ns->nports > 0 ? ns->nports : 1)) {
+        if (stage <= STAGE_ACQ2) { /* port stages actually use the ports */
+            PyErr_Format(PyExc_ValueError, "port out of range: (%ld, %ld)",
+                         port1, port2);
+            return NULL;
+        }
+    }
+    rec = pool_get_or_new(ns);
+    if (rec == NULL)
+        return NULL;
+    rec->stage = (int)stage;
+    rec->port1 = (int)port1;
+    rec->port2 = (int)port2;
+    rec->hold = hold;
+    rec->wait_since = 0.0;
+    if (args[5] != Py_None) {
+        Py_INCREF(args[5]);
+        rec->pending = args[5];
+    }
+    if (args[6] != Py_None) {
+        Py_INCREF(args[6]);
+        rec->recv = args[6];
+    }
+    if (args[7] != Py_None) {
+        Py_INCREF(args[7]);
+        rec->done = args[7];
+    }
+    if (get_long_attr(sim, s__seq, &seq) < 0 ||
+        get_double_attr(sim, s__now, &now) < 0) {
+        Py_DECREF(rec);
+        return NULL;
+    }
+    seq += 1;
+    if (set_long_attr(sim, s__seq, seq) < 0) {
+        Py_DECREF(rec);
+        return NULL;
+    }
+    queue = PyObject_GetAttr(sim, s__queue);
+    if (queue == NULL || !PyList_CheckExact(queue)) {
+        Py_XDECREF(queue);
+        Py_DECREF(rec);
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError, "sim._queue must be a list");
+        return NULL;
+    }
+    rc = heap_push_event(queue, now, seq, (PyObject *)rec);
+    Py_DECREF(queue);
+    Py_DECREF(rec);
+    if (rc < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+NetState_bind_deliver(NetState *ns, PyObject *fn)
+{
+    PyObject *old = ns->deliver;
+    Py_INCREF(fn);
+    ns->deliver = fn;
+    Py_XDECREF(old);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+NetState_wait_time(NetState *ns, PyObject *arg)
+{
+    Py_ssize_t port = PyNumber_AsSsize_t(arg, PyExc_IndexError);
+    if (port == -1 && PyErr_Occurred())
+        return NULL;
+    if (port < 0 || port >= ns->nports) {
+        PyErr_SetString(PyExc_IndexError, "port out of range");
+        return NULL;
+    }
+    return PyFloat_FromDouble(ns->wait_time[port]);
+}
+
+static PyObject *
+NetState_grants(NetState *ns, PyObject *arg)
+{
+    Py_ssize_t port = PyNumber_AsSsize_t(arg, PyExc_IndexError);
+    if (port == -1 && PyErr_Occurred())
+        return NULL;
+    if (port < 0 || port >= ns->nports) {
+        PyErr_SetString(PyExc_IndexError, "port out of range");
+        return NULL;
+    }
+    return PyLong_FromLong(ns->grants[port]);
+}
+
+static PyObject *
+NetState_pool_size(NetState *ns, PyObject *noarg)
+{
+    return PyLong_FromLong(ns->pool_len);
+}
+
+static PyMethodDef NetState_methods[] = {
+    {"push_transfer", (PyCFunction)(void (*)(void))NetState_push_transfer,
+     METH_FASTCALL, "Schedule one transfer record (the deferral push)."},
+    {"bind_deliver", (PyCFunction)NetState_bind_deliver, METH_O,
+     "Install the matched-delivery callable."},
+    {"wait_time", (PyCFunction)NetState_wait_time, METH_O,
+     "Cumulative queueing seconds at one port."},
+    {"grants", (PyCFunction)NetState_grants, METH_O,
+     "Grants made at one port."},
+    {"pool_size", (PyCFunction)NetState_pool_size, METH_NOARGS,
+     "Recycled records currently pooled (diagnostics)."},
+    {NULL},
+};
+
+static PyMemberDef NetState_members[] = {
+    {"nports", T_PYSSIZET, offsetof(NetState, nports), READONLY, NULL},
+    {NULL},
+};
+
+static PyTypeObject NetStateType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.des._despeed.NetState",
+    .tp_basicsize = sizeof(NetState),
+    .tp_dealloc = (destructor)NetState_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Native port tables, waiter FIFOs and record pool for one "
+              "lowered network.",
+    .tp_traverse = (traverseproc)NetState_traverse,
+    .tp_clear = (inquiry)NetState_clear,
+    .tp_methods = NetState_methods,
+    .tp_members = NetState_members,
+    .tp_new = NetState_new,
+};
+
+/* ---- the drain loop ----------------------------------------------------- */
+
+typedef struct {
+    PyObject *sim;
+    PyObject *queue;
+    long seq;
+} DrainCtx;
+
+static int
+ctx_sync_out(DrainCtx *ctx, double now)
+{
+    if (set_long_attr(ctx->sim, s__seq, ctx->seq) < 0)
+        return -1;
+    return set_double_attr(ctx->sim, s__now, now);
+}
+
+static int
+ctx_sync_in(DrainCtx *ctx)
+{
+    return get_long_attr(ctx->sim, s__seq, &ctx->seq);
+}
+
+/* After an exception raised by Python code the sim._seq attribute is
+ * authoritative (it was synced out just before the call); reload it so the
+ * uniform finalizer can write it back unchanged. */
+static void
+ctx_resync_after_error(DrainCtx *ctx)
+{
+    PyObject *type, *value, *tb;
+    long seq;
+    PyErr_Fetch(&type, &value, &tb);
+    if (get_long_attr(ctx->sim, s__seq, &seq) == 0)
+        ctx->seq = seq;
+    else
+        PyErr_Clear();
+    PyErr_Restore(type, value, tb);
+}
+
+/* Complete a record: succeed its done Event, or re-push for the inline
+ * delivery stage (one seq, standing in for done.succeed()). */
+static int
+record_complete(DrainCtx *ctx, CTransfer *rec, NetState *ns, double now)
+{
+    PyObject *done = rec->done;
+    PyObject *res;
+    if (done == NULL) {
+        rec->stage = STAGE_DELIVER;
+        ctx->seq += 1;
+        return heap_push_event(ctx->queue, now, ctx->seq, (PyObject *)rec);
+    }
+    rec->done = NULL;
+    pool_put(ns, rec);
+    if (ctx_sync_out(ctx, now) < 0) {
+        Py_DECREF(done);
+        return -1;
+    }
+    res = PyObject_CallMethodNoArgs(done, s_succeed);
+    Py_DECREF(done);
+    if (res == NULL) {
+        ctx_resync_after_error(ctx);
+        return -1;
+    }
+    Py_DECREF(res);
+    return ctx_sync_in(ctx);
+}
+
+/* Advance one popped record through its next stage.  Mirrors the lowered
+ * backend's _run_inlined record branch statement for statement. */
+static int
+advance_record(DrainCtx *ctx, CTransfer *rec, double now)
+{
+    NetState *ns;
+    int stage = rec->stage;
+    if (rec->owner == NULL || Py_TYPE(rec->owner) != &NetStateType) {
+        PyErr_SetString(PyExc_RuntimeError, "transfer record has no NetState");
+        return -1;
+    }
+    ns = (NetState *)rec->owner;
+    if (stage <= STAGE_ACQ1) { /* acquire a port, or queue behind it */
+        int port = (stage == STAGE_START) ? rec->port1 : rec->port2;
+        rec->stage = stage + 1;
+        if (ns->in_use[port]) {
+            PyObject *wl = ns->waiters[port];
+            rec->wait_since = now;
+            if (wl == NULL) {
+                wl = PyList_New(0);
+                if (wl == NULL)
+                    return -1;
+                ns->waiters[port] = wl;
+            }
+            return PyList_Append(wl, (PyObject *)rec);
+        }
+        ns->in_use[port] = 1;
+        ns->grants[port] += 1;
+        ctx->seq += 1;
+        return heap_push_event(ctx->queue, now, ctx->seq, (PyObject *)rec);
+    }
+    if (stage == STAGE_ACQ2) { /* both ports held: serialize */
+        rec->stage = STAGE_RELEASE;
+        ctx->seq += 1;
+        return heap_push_event(ctx->queue, now + rec->hold, ctx->seq,
+                               (PyObject *)rec);
+    }
+    if (stage == STAGE_RELEASE) {
+        /* Release in reference order (injection, then ejection); each
+         * release hands the port straight to the oldest waiter. */
+        int ports[2];
+        int i;
+        ports[0] = rec->port2;
+        ports[1] = rec->port1;
+        for (i = 0; i < 2; i++) {
+            int port = ports[i];
+            PyObject *wl = ns->waiters[port];
+            if (wl != NULL && PyList_GET_SIZE(wl) > 0) {
+                CTransfer *waiter = (CTransfer *)PyList_GET_ITEM(wl, 0);
+                int rc;
+                Py_INCREF(waiter);
+                if (PyList_SetSlice(wl, 0, 1, NULL) < 0) {
+                    Py_DECREF(waiter);
+                    return -1;
+                }
+                ns->grants[port] += 1;
+                ns->wait_time[port] += now - waiter->wait_since;
+                ctx->seq += 1;
+                rc = heap_push_event(ctx->queue, now, ctx->seq,
+                                     (PyObject *)waiter);
+                Py_DECREF(waiter);
+                if (rc < 0)
+                    return -1;
+            }
+            else {
+                ns->in_use[port] = 0;
+            }
+        }
+        return record_complete(ctx, rec, ns, now);
+    }
+    if (stage == STAGE_DELIVER) {
+        PyObject *pending = rec->pending;
+        PyObject *recvq = rec->recv;
+        PyObject *argv[2];
+        PyObject *res;
+        rec->pending = NULL;
+        rec->recv = NULL;
+        pool_put(ns, rec);
+        if (ns->deliver == NULL || ns->deliver == Py_None) {
+            Py_XDECREF(pending);
+            Py_XDECREF(recvq);
+            PyErr_SetString(PyExc_RuntimeError,
+                            "matched transfer with no bound deliver callable");
+            return -1;
+        }
+        if (ctx_sync_out(ctx, now) < 0) {
+            Py_XDECREF(pending);
+            Py_XDECREF(recvq);
+            return -1;
+        }
+        argv[0] = pending != NULL ? pending : Py_None;
+        argv[1] = recvq != NULL ? recvq : Py_None;
+        res = PyObject_Vectorcall(ns->deliver, argv, 2, NULL);
+        Py_XDECREF(pending);
+        Py_XDECREF(recvq);
+        if (res == NULL) {
+            ctx_resync_after_error(ctx);
+            return -1;
+        }
+        Py_DECREF(res);
+        return ctx_sync_in(ctx);
+    }
+    if (stage == STAGE_DELAY) { /* contention-free: one analytic delay */
+        rec->stage = STAGE_DELAY_DONE;
+        ctx->seq += 1;
+        return heap_push_event(ctx->queue, now + rec->hold, ctx->seq,
+                               (PyObject *)rec);
+    }
+    if (stage == STAGE_DELAY_DONE)
+        return record_complete(ctx, rec, ns, now);
+    PyErr_Format(PyExc_RuntimeError, "corrupt transfer record stage %d", stage);
+    return -1;
+}
+
+/* Run one generic event: the reference loop's body, with seq handed back
+ * to Python for the callback window.  Returns 0, or -1 with an exception
+ * set (including the event's own failure propagation). */
+static int
+run_generic_event(DrainCtx *ctx, PyObject *tpool, PyObject *event, double now)
+{
+    PyObject *callbacks, *fresh, *ok, *pooled;
+    Py_ssize_t i, ncb;
+    int truthy;
+    if (ctx_sync_out(ctx, now) < 0)
+        return -1;
+    callbacks = PyObject_GetAttr(event, s_callbacks);
+    if (callbacks == NULL)
+        return -1;
+    fresh = PyList_New(0);
+    if (fresh == NULL) {
+        Py_DECREF(callbacks);
+        return -1;
+    }
+    if (PyObject_SetAttr(event, s_callbacks, fresh) < 0) {
+        Py_DECREF(fresh);
+        Py_DECREF(callbacks);
+        return -1;
+    }
+    Py_DECREF(fresh);
+    if (PyObject_SetAttr(event, s__state, str_processed) < 0) {
+        Py_DECREF(callbacks);
+        return -1;
+    }
+    if (PyList_CheckExact(callbacks)) {
+        ncb = PyList_GET_SIZE(callbacks);
+        for (i = 0; i < ncb; i++) {
+            PyObject *cb = PyList_GET_ITEM(callbacks, i);
+            PyObject *res;
+            Py_INCREF(cb);
+            res = PyObject_CallOneArg(cb, event);
+            Py_DECREF(cb);
+            if (res == NULL) {
+                Py_DECREF(callbacks);
+                ctx_resync_after_error(ctx);
+                return -1;
+            }
+            Py_DECREF(res);
+        }
+    }
+    else {
+        /* e.g. the () class attr on slot records reached defensively */
+        PyObject *seq_fast =
+            PySequence_Fast(callbacks, "event.callbacks must be a sequence");
+        if (seq_fast == NULL) {
+            Py_DECREF(callbacks);
+            return -1;
+        }
+        ncb = PySequence_Fast_GET_SIZE(seq_fast);
+        for (i = 0; i < ncb; i++) {
+            PyObject *cb = PySequence_Fast_GET_ITEM(seq_fast, i);
+            PyObject *res;
+            Py_INCREF(cb);
+            res = PyObject_CallOneArg(cb, event);
+            Py_DECREF(cb);
+            if (res == NULL) {
+                Py_DECREF(seq_fast);
+                Py_DECREF(callbacks);
+                ctx_resync_after_error(ctx);
+                return -1;
+            }
+            Py_DECREF(res);
+        }
+        Py_DECREF(seq_fast);
+    }
+    Py_DECREF(callbacks);
+    if (ctx_sync_in(ctx) < 0)
+        return -1;
+    /* failure propagation: raise event._value unless defused */
+    ok = PyObject_GetAttr(event, s__ok);
+    if (ok == NULL)
+        return -1;
+    truthy = (ok == Py_False);
+    Py_DECREF(ok);
+    if (truthy) {
+        PyObject *defused = PyObject_GetAttr(event, s_defused);
+        int is_defused;
+        if (defused == NULL)
+            return -1;
+        is_defused = PyObject_IsTrue(defused);
+        Py_DECREF(defused);
+        if (is_defused < 0)
+            return -1;
+        if (!is_defused) {
+            PyObject *value = PyObject_GetAttr(event, s__value);
+            if (value == NULL)
+                return -1;
+            if (PyExceptionInstance_Check(value))
+                PyErr_SetObject(PyExceptionInstance_Class(value), value);
+            else
+                PyErr_Format(PyExc_TypeError,
+                             "failed event value %R is not an exception",
+                             value);
+            Py_DECREF(value);
+            return -1;
+        }
+    }
+    /* pooled-timeout recycle */
+    pooled = PyObject_GetAttr(event, s__pooled);
+    if (pooled == NULL)
+        return -1;
+    truthy = PyObject_IsTrue(pooled);
+    Py_DECREF(pooled);
+    if (truthy < 0)
+        return -1;
+    if (truthy && PyList_GET_SIZE(tpool) < TIMEOUT_POOL_MAX)
+        return PyList_Append(tpool, event);
+    return 0;
+}
+
+/* Write seq/now/events_processed back, preserving any pending exception. */
+static void
+drain_finalize(DrainCtx *ctx, double now, long processed)
+{
+    PyObject *type, *value, *tb;
+    long ep;
+    PyErr_Fetch(&type, &value, &tb);
+    if (set_long_attr(ctx->sim, s__seq, ctx->seq) < 0)
+        PyErr_Clear();
+    if (set_double_attr(ctx->sim, s__now, now) < 0)
+        PyErr_Clear();
+    if (get_long_attr(ctx->sim, s_events_processed, &ep) == 0) {
+        if (set_long_attr(ctx->sim, s_events_processed, ep + processed) < 0)
+            PyErr_Clear();
+    }
+    else {
+        PyErr_Clear();
+    }
+    PyErr_Restore(type, value, tb);
+}
+
+/* drain(sim, stop_event_or_None, stop_time_or_None) -> bool
+ * The tracer-off event loop; returns False on a stop_time horizon stop,
+ * True otherwise (matching Simulator._run_fast). */
+static PyObject *
+despeed_drain(PyObject *module, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *sim, *stop_event, *queue, *tpool;
+    DrainCtx ctx;
+    double stop_time = 0.0, cur_now;
+    int has_stop_time = 0, result = 1, failed = 0;
+    long processed = 0;
+
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError, "drain(sim, stop_event, stop_time)");
+        return NULL;
+    }
+    sim = args[0];
+    stop_event = (args[1] == Py_None) ? NULL : args[1];
+    if (args[2] != Py_None) {
+        stop_time = PyFloat_AsDouble(args[2]);
+        if (stop_time == -1.0 && PyErr_Occurred())
+            return NULL;
+        has_stop_time = 1;
+    }
+    if (ensure_runtime() < 0)
+        return NULL;
+    queue = PyObject_GetAttr(sim, s__queue);
+    if (queue == NULL)
+        return NULL;
+    if (!PyList_CheckExact(queue)) {
+        Py_DECREF(queue);
+        PyErr_SetString(PyExc_TypeError, "sim._queue must be a list");
+        return NULL;
+    }
+    tpool = PyObject_GetAttr(sim, s__timeout_pool);
+    if (tpool == NULL || !PyList_CheckExact(tpool)) {
+        Py_XDECREF(tpool);
+        Py_DECREF(queue);
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError, "sim._timeout_pool must be a list");
+        return NULL;
+    }
+    ctx.sim = sim;
+    ctx.queue = queue;
+    if (get_long_attr(sim, s__seq, &ctx.seq) < 0 ||
+        get_double_attr(sim, s__now, &cur_now) < 0) {
+        Py_DECREF(tpool);
+        Py_DECREF(queue);
+        return NULL;
+    }
+
+    while (PyList_GET_SIZE(queue) > 0) {
+        PyObject *item, *event;
+        double t;
+        int err = 0;
+
+        if (stop_event != NULL) {
+            PyObject *state = PyObject_GetAttr(stop_event, s__state);
+            int eq;
+            if (state == NULL) {
+                failed = 1;
+                break;
+            }
+            eq = PyObject_RichCompareBool(state, str_processed, Py_EQ);
+            Py_DECREF(state);
+            if (eq < 0) {
+                failed = 1;
+                break;
+            }
+            if (eq)
+                break; /* finished: the awaited event has been processed */
+        }
+        if (has_stop_time) {
+            PyObject *head = PyList_GET_ITEM(queue, 0);
+            double t0;
+            if (!PyTuple_CheckExact(head) || PyTuple_GET_SIZE(head) < 4) {
+                PyErr_SetString(PyExc_TypeError,
+                                "heap items must be (time, priority, seq, "
+                                "event) tuples");
+                failed = 1;
+                break;
+            }
+            t0 = item_time(head, &err);
+            if (err) {
+                failed = 1;
+                break;
+            }
+            if (t0 > stop_time) {
+                cur_now = stop_time;
+                result = 0; /* horizon stop with events still queued */
+                break;
+            }
+        }
+
+        item = heap_pop(queue);
+        if (item == NULL) {
+            failed = 1;
+            break;
+        }
+        if (!PyTuple_CheckExact(item) || PyTuple_GET_SIZE(item) < 4) {
+            PyErr_SetString(PyExc_TypeError,
+                            "heap items must be (time, priority, seq, event) "
+                            "tuples");
+            Py_DECREF(item);
+            failed = 1;
+            break;
+        }
+        t = item_time(item, &err);
+        if (err) {
+            Py_DECREF(item);
+            failed = 1;
+            break;
+        }
+        event = PyTuple_GET_ITEM(item, 3); /* borrowed from item */
+        cur_now = t;
+
+        if (Py_TYPE(event) == &CTransferType) {
+            processed += 1;
+            if (advance_record(&ctx, (CTransfer *)event, t) < 0) {
+                Py_DECREF(item);
+                failed = 1;
+                break;
+            }
+        }
+        else if ((PyObject *)Py_TYPE(event) == py_transfer_cls) {
+            /* A Python slot record (mixed-network setups): bound-method
+             * dispatch with seq/now synced around it. */
+            PyObject *step, *res;
+            processed += 1;
+            if (ctx_sync_out(&ctx, t) < 0) {
+                Py_DECREF(item);
+                failed = 1;
+                break;
+            }
+            step = PyObject_GetAttr(event, s_step);
+            if (step == NULL) {
+                Py_DECREF(item);
+                failed = 1;
+                break;
+            }
+            res = PyObject_CallOneArg(step, event);
+            Py_DECREF(step);
+            if (res == NULL) {
+                ctx_resync_after_error(&ctx);
+                Py_DECREF(item);
+                failed = 1;
+                break;
+            }
+            Py_DECREF(res);
+            if (ctx_sync_in(&ctx) < 0) {
+                Py_DECREF(item);
+                failed = 1;
+                break;
+            }
+        }
+        else {
+            processed += 1;
+            if (run_generic_event(&ctx, tpool, event, t) < 0) {
+                Py_DECREF(item);
+                failed = 1;
+                break;
+            }
+        }
+        Py_DECREF(item);
+    }
+
+    drain_finalize(&ctx, cur_now, processed);
+    Py_DECREF(tpool);
+    Py_DECREF(queue);
+    if (failed)
+        return NULL;
+    return PyBool_FromLong(result);
+}
+
+/* step_record(sim, record): advance one already-popped record (used by the
+ * compiled simulator's step() and traced loop).  The caller has set
+ * sim._now to the record's pop time. */
+static PyObject *
+despeed_step_record(PyObject *module, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *sim, *queue;
+    DrainCtx ctx;
+    double now;
+    int rc;
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "step_record(sim, record)");
+        return NULL;
+    }
+    sim = args[0];
+    if (Py_TYPE(args[1]) != &CTransferType) {
+        PyErr_SetString(PyExc_TypeError, "step_record: not a CTransfer");
+        return NULL;
+    }
+    if (ensure_runtime() < 0)
+        return NULL;
+    queue = PyObject_GetAttr(sim, s__queue);
+    if (queue == NULL)
+        return NULL;
+    if (!PyList_CheckExact(queue)) {
+        Py_DECREF(queue);
+        PyErr_SetString(PyExc_TypeError, "sim._queue must be a list");
+        return NULL;
+    }
+    ctx.sim = sim;
+    ctx.queue = queue;
+    if (get_long_attr(sim, s__seq, &ctx.seq) < 0 ||
+        get_double_attr(sim, s__now, &now) < 0) {
+        Py_DECREF(queue);
+        return NULL;
+    }
+    rc = advance_record(&ctx, (CTransfer *)args[1], now);
+    /* Write the (possibly advanced) counter back even on failure: for
+     * Python-raised errors advance_record already resynced ctx.seq. */
+    {
+        PyObject *type, *value, *tb;
+        PyErr_Fetch(&type, &value, &tb);
+        if (set_long_attr(sim, s__seq, ctx.seq) < 0)
+            PyErr_Clear();
+        PyErr_Restore(type, value, tb);
+    }
+    Py_DECREF(queue);
+    if (rc < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef despeed_methods[] = {
+    {"drain", (PyCFunction)(void (*)(void))despeed_drain, METH_FASTCALL,
+     "Tracer-off event loop over sim._queue; returns False on a horizon "
+     "stop."},
+    {"step_record", (PyCFunction)(void (*)(void))despeed_step_record,
+     METH_FASTCALL, "Advance one popped CTransfer record."},
+    {NULL},
+};
+
+static struct PyModuleDef despeed_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.des._despeed",
+    .m_doc = "Native event loop, slot records and network scheduling for "
+             "the compiled simulator backend.",
+    .m_size = -1,
+    .m_methods = despeed_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__despeed(void)
+{
+    PyObject *mod;
+    if (PyType_Ready(&CTransferType) < 0 || PyType_Ready(&NetStateType) < 0)
+        return NULL;
+    s__seq = PyUnicode_InternFromString("_seq");
+    s__now = PyUnicode_InternFromString("_now");
+    s__queue = PyUnicode_InternFromString("_queue");
+    s__timeout_pool = PyUnicode_InternFromString("_timeout_pool");
+    s_events_processed = PyUnicode_InternFromString("events_processed");
+    s_callbacks = PyUnicode_InternFromString("callbacks");
+    s__state = PyUnicode_InternFromString("_state");
+    s__ok = PyUnicode_InternFromString("_ok");
+    s__value = PyUnicode_InternFromString("_value");
+    s_defused = PyUnicode_InternFromString("defused");
+    s__pooled = PyUnicode_InternFromString("_pooled");
+    s_step = PyUnicode_InternFromString("step");
+    s_succeed = PyUnicode_InternFromString("succeed");
+    long_one = PyLong_FromLong(1);
+    if (s__seq == NULL || s__now == NULL || s__queue == NULL ||
+        s__timeout_pool == NULL || s_events_processed == NULL ||
+        s_callbacks == NULL || s__state == NULL || s__ok == NULL ||
+        s__value == NULL || s_defused == NULL || s__pooled == NULL ||
+        s_step == NULL || s_succeed == NULL || long_one == NULL)
+        return NULL;
+    mod = PyModule_Create(&despeed_module);
+    if (mod == NULL)
+        return NULL;
+    Py_INCREF(&CTransferType);
+    if (PyModule_AddObject(mod, "CTransfer", (PyObject *)&CTransferType) < 0) {
+        Py_DECREF(&CTransferType);
+        Py_DECREF(mod);
+        return NULL;
+    }
+    Py_INCREF(&NetStateType);
+    if (PyModule_AddObject(mod, "NetState", (PyObject *)&NetStateType) < 0) {
+        Py_DECREF(&NetStateType);
+        Py_DECREF(mod);
+        return NULL;
+    }
+    if (PyModule_AddIntConstant(mod, "RECORD_POOL_MAX", RECORD_POOL_MAX) < 0) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    return mod;
+}

@@ -1,0 +1,168 @@
+"""The compiled backend: the lowered plan run by the C core ``_despeed``.
+
+Same schedule as the lowered backend — sequence-for-sequence — but the
+event loop, the heap sifts, the slot-record state machine, and the port
+tables all run natively.  Python is re-entered only for generic-event
+callbacks and matched delivery, with ``sim._seq`` / ``sim._now`` synced
+around each re-entry exactly as the lowered loop does, so timestamps and
+event order stay bit-identical with both Python backends.
+
+This module imports only when :func:`repro.des.backends.compiled_available`
+is true; everything else gates on that check, so a build without a C
+compiler simply never lands here.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.des import _despeed
+from repro.des.backends.lowered import (
+    _DELAY,
+    _START,
+    LoweredNetwork,
+    LoweredSimulator,
+    _Transfer,
+)
+from repro.des.backends.plan import EnginePlan
+from repro.des.event import Event, PROCESSED
+from repro.errors import MachineError
+from repro.machine.network import ContentionMode
+
+
+class CompiledSimulator(LoweredSimulator):
+    """Reference semantics, native event loop."""
+
+    backend = "compiled"
+
+    def _run_fast(self, stop_event, stop_time) -> bool:
+        # The C drain handles generic events, native records, and (for
+        # mixed-network setups) Python slot records; stops included.
+        return _despeed.drain(self, stop_event, stop_time)
+
+    def step(self) -> None:
+        queue = self._queue
+        if queue and type(queue[0][3]) is _despeed.CTransfer:
+            time, _priority, _seq, record = heapq.heappop(queue)
+            self._now = time
+            _despeed.step_record(self, record)
+            self.events_processed += 1
+            return
+        super().step()
+
+    def _run_traced(self, stop_event, stop_time) -> bool:
+        # Mirror of LoweredSimulator._run_traced with the native-record
+        # branch added (tracer attached mid-run degrades gracefully).
+        ctransfer = _despeed.CTransfer
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                return True
+            if stop_time is not None and self._queue[0][0] > stop_time:
+                self._now = stop_time
+                return False
+            time, _priority, _seq, event = heapq.heappop(self._queue)
+            self._now = time
+            self.tracer.record(time, event)
+            if type(event) is ctransfer:
+                _despeed.step_record(self, event)
+                self.events_processed += 1
+                continue
+            if event.__class__ is _Transfer:
+                event.step(event)
+                self.events_processed += 1
+                continue
+            callbacks, event.callbacks = event.callbacks, []
+            event._state = PROCESSED
+            for callback in callbacks:
+                callback(event)
+            self.events_processed += 1
+            if event._ok is False and not event.defused:
+                raise event._value
+        return True
+
+
+class CompiledNetwork(LoweredNetwork):
+    """Plan-driven network scheduler backed by a native :class:`NetState`.
+
+    Hold times are still memoized in Python (one dict hit per message in
+    steady state); everything after the push — port acquisition, waiter
+    FIFOs, release/grant accounting, delivery staging — runs in C.
+    """
+
+    def __init__(self, sim, mesh, cost_model=None, contention=ContentionMode.ENDPOINT,
+                 plan: EnginePlan | None = None):
+        super().__init__(sim, mesh, cost_model, contention=contention, plan=plan)
+        if self._lowered_on:
+            self._cstate = _despeed.NetState(plan.num_ports)
+
+    def bind_deliver(self, deliver) -> None:
+        self._deliver = deliver
+        if self._lowered_on:
+            self._cstate.bind_deliver(deliver)
+
+    # -- native transfer path --------------------------------------------------
+    def transfer(self, src: int, dst: int, nbytes: int) -> Event:
+        if not self._lowered_on or self.obs is not None:
+            return super(LoweredNetwork, self).transfer(src, dst, nbytes)
+        if nbytes < 0:
+            raise MachineError(f"negative message size: {nbytes}")
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        sim = self.sim
+        done = Event(sim, name="xfer")
+        if src != dst and self._endpoint:
+            self._cstate.push_transfer(
+                sim, _START, 2 * dst, 2 * src + 1,
+                self._edge_hold(src, dst, nbytes), None, None, done,
+            )
+        elif src == dst:
+            self._cstate.push_transfer(
+                sim, _DELAY, 0, 0, self.plan.per_byte_s * nbytes,
+                None, None, done,
+            )
+        else:
+            self._cstate.push_transfer(
+                sim, _DELAY, 0, 0, self._edge_delay_none(src, dst, nbytes),
+                None, None, done,
+            )
+        return done
+
+    def transfer_matched(self, src: int, dst: int, pending, recv_req) -> None:
+        nbytes = pending.message.nbytes
+        if nbytes < 0:
+            raise MachineError(f"negative message size: {nbytes}")
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        sim = self.sim
+        if src != dst and self._endpoint:
+            by_size = self._edge_memo.get(src * self._n + dst)
+            hold = by_size.get(nbytes) if by_size is not None else None
+            if hold is None:
+                hold = self._edge_hold(src, dst, nbytes)
+            self._cstate.push_transfer(
+                sim, _START, 2 * dst, 2 * src + 1, hold, pending, recv_req, None,
+            )
+        elif src == dst:
+            self._cstate.push_transfer(
+                sim, _DELAY, 0, 0, self.plan.per_byte_s * nbytes,
+                pending, recv_req, None,
+            )
+        else:
+            self._cstate.push_transfer(
+                sim, _DELAY, 0, 0, self._edge_delay_none(src, dst, nbytes),
+                pending, recv_req, None,
+            )
+
+    # -- diagnostics -----------------------------------------------------------
+    def endpoint_wait_time(self, node: int) -> float:
+        total = super(LoweredNetwork, self).endpoint_wait_time(node)
+        if self._lowered_on:
+            cstate = self._cstate
+            total += cstate.wait_time(2 * node) + cstate.wait_time(2 * node + 1)
+        return total
+
+    def port_grants(self, node: int) -> int:
+        if not self._lowered_on:
+            return 0
+        cstate = self._cstate
+        return cstate.grants(2 * node) + cstate.grants(2 * node + 1)

@@ -25,6 +25,9 @@ _POOL_MAX = 1024
 class Simulator:
     """Discrete-event simulator with a floating-point virtual clock (seconds)."""
 
+    #: Backend identity; subclasses in :mod:`repro.des.backends` override.
+    backend = "python"
+
     def __init__(self, trace: bool = False):
         self._now: float = 0.0
         self._queue: list = []

@@ -153,11 +153,12 @@ class _Condition(Event):
                 raise SimulationError("cannot mix events from different simulators")
         # Register on the child events; already-processed children count
         # immediately (so conditions over completed events work).
+        child_fired = self._child_fired
         for ev in self.events:
-            if ev.processed:
-                self._child_fired(ev)
+            if ev._state == PROCESSED:
+                child_fired(ev)
             else:
-                ev.callbacks.append(self._child_fired)
+                ev.callbacks.append(child_fired)
         self._check_if_created_satisfied()
 
     def _check_if_created_satisfied(self) -> None:
@@ -167,9 +168,9 @@ class _Condition(Event):
     def _child_fired(self, ev: Event) -> None:
         if self._state != PENDING:
             return
-        if not ev.ok:
+        if not ev._ok:
             ev.defused = True
-            self.fail(ev.value)
+            self.fail(ev._value)
             return
         self._n_fired += 1
         if self._satisfied():
@@ -185,7 +186,11 @@ class _Condition(Event):
         Only *processed* children count: a Timeout is born triggered (it
         has a value from creation) but has not yet occurred.
         """
-        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+        return {
+            ev: ev._value
+            for ev in self.events
+            if ev._state == PROCESSED and ev._ok
+        }
 
 
 class AllOf(_Condition):

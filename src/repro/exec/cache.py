@@ -14,6 +14,10 @@ The key is the SHA-256 of a canonical JSON document containing:
 * a cache schema number (:data:`CACHE_SCHEMA`) and the package version —
   bumping either invalidates every entry, the backstop for behaviour
   changes the fingerprint cannot see;
+* the resolved simulator-backend identity and its
+  :data:`~repro.des.backends.ENGINE_SCHEMA`, so results from different
+  engine cores are never conflated even though they are bit-identical by
+  contract;
 * every declared field of :class:`~repro.radar.parameters.STAPParams`
   (floats rendered with ``float.hex`` so distinct bit patterns never
   collide);
@@ -57,7 +61,8 @@ from repro.perf import exec_counters
 from repro.version import __version__
 
 #: Bump to invalidate every cached result (schema or semantics change).
-CACHE_SCHEMA = 1
+#: 2: cache keys gained the resolved engine-backend identity.
+CACHE_SCHEMA = 2
 
 
 # -- fingerprinting ------------------------------------------------------------------
@@ -104,11 +109,30 @@ def machine_fingerprint(machine: Optional[Machine]) -> dict:
     }
 
 
+def engine_fingerprint(backend) -> dict:
+    """The simulator-core identity a result depends on.
+
+    The *resolved* backend goes into the key (``auto`` hashes to whatever
+    core actually runs), together with :data:`~repro.des.backends.ENGINE_SCHEMA`
+    so a scheduling-semantics change in any backend flushes its entries.
+    All backends are bit-identical by contract, but the cache must never
+    *assume* that — conflating cores would make a backend bug silently
+    contaminate reference results.
+    """
+    from repro.des.backends import ENGINE_SCHEMA, resolve_backend
+
+    return {
+        "backend": resolve_backend(backend),
+        "engine_schema": ENGINE_SCHEMA,
+    }
+
+
 def point_fingerprint(point) -> dict:
     """The full key document of a :class:`~repro.exec.point.SimPoint`."""
     return {
         "schema": CACHE_SCHEMA,
         "version": __version__,
+        "engine": engine_fingerprint(getattr(point, "backend", None)),
         "params": _canon(point.params),
         "assignment": list(point.assignment.counts()),
         "machine": machine_fingerprint(point.machine),

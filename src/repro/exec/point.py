@@ -44,6 +44,11 @@ class SimPoint:
     double_buffering: bool = True
     collect_training: bool = True
     measured: bool = False
+    #: Simulator backend (``None`` = reference engine, or one of
+    #: ``python`` / ``lowered`` / ``compiled`` / ``auto``).  The *resolved*
+    #: identity goes into the cache key, so an ``auto`` point hashes to
+    #: whichever core it actually runs on.
+    backend: Optional[str] = None
     #: Display name for progress output; defaults to the assignment's name.
     label: str = ""
 
@@ -51,6 +56,11 @@ class SimPoint:
         if self.mode != "modeled":
             raise ConfigurationError(
                 f"the executor supports modeled-mode points only, got {self.mode!r}"
+            )
+        if self.backend not in (None, "auto", "python", "lowered", "compiled"):
+            raise ConfigurationError(
+                f"unknown simulator backend {self.backend!r}; expected one of "
+                "('python', 'lowered', 'compiled', 'auto')"
             )
 
     @property
@@ -73,6 +83,7 @@ class SimPoint:
             double_buffering=self.double_buffering,
             collect_training=self.collect_training,
             trace=trace,
+            backend=self.backend,
         )
 
     def run(self) -> "PointResult":
@@ -133,6 +144,7 @@ def probe_throughput(pipeline) -> Optional[float]:
         double_buffering=pipeline.double_buffering,
         collect_training=pipeline.collect_training,
         measured=False,
+        backend=pipeline.requested_backend,
     )
     cache = get_default_cache()
     key = cache_key(point)

@@ -93,6 +93,7 @@ def speedup_series(
     trace_dir=None,
     jobs: int = 1,
     cache=USE_DEFAULT_CACHE,
+    backend: Optional[str] = None,
 ) -> list[SpeedupPoint]:
     """Figure 11: computation time & speedup of one task vs its node count.
 
@@ -116,6 +117,7 @@ def speedup_series(
                 Assignment(name=name, **counts),
                 machine=machine,
                 num_cpis=num_cpis,
+                backend=backend,
             )
         )
         names.append(name)
@@ -157,6 +159,7 @@ def scalability_curve(
     trace_dir=None,
     jobs: int = 1,
     cache=USE_DEFAULT_CACHE,
+    backend: Optional[str] = None,
 ) -> list[ScalabilityPoint]:
     """Throughput/latency vs total node budget, with optimized assignments.
 
@@ -176,6 +179,7 @@ def scalability_curve(
             machine=machine,
             num_cpis=num_cpis,
             measured=measured,
+            backend=backend,
         )
         for assignment in assignments
     ]

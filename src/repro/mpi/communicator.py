@@ -27,11 +27,14 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable, Generator, Optional, Sequence
 
 import numpy as np
 
 from repro.des import Simulator
+from repro.des.backends.plan import TAG_BITS, TAG_LIMIT
+from repro.des.event import PENDING, TRIGGERED
 from repro.errors import MPIError
 from repro.machine.network import Network
 from repro.machine.paragon import Machine
@@ -75,6 +78,11 @@ class World:
     eager_threshold:
         Messages of at most this many bytes complete their send request at
         posting time (buffered eager protocol).
+    backend:
+        Simulator backend: an :class:`~repro.des.backends.EngineBackend`
+        instance, a backend name, or None to match the simulator's own
+        backend (a plain :class:`Simulator` keeps the reference network
+        and matcher, so existing call sites are unchanged).
     """
 
     def __init__(
@@ -85,13 +93,27 @@ class World:
         placement: Optional[Sequence[int]] = None,
         contention="endpoint",
         eager_threshold: int = 16 * 1024,
+        backend=None,
     ):
+        from repro.des.backends import EngineBackend, get_backend, timed_plan
+
         if num_ranks < 1:
             raise MPIError(f"world needs at least 1 rank, got {num_ranks}")
         machine.check_node_budget(num_ranks if placement is None else max(placement) + 1)
         self.sim = sim
         self.machine = machine
-        self.network: Network = machine.build_network(sim, contention=contention)
+        if not isinstance(backend, EngineBackend):
+            backend = get_backend(backend if backend is not None else sim.backend)
+        self.backend = backend.name
+        #: Lowered per-run tables (None on the reference backend).
+        self.engine_plan = timed_plan(
+            backend, machine.mesh, machine.network_cost, contention
+        )
+        self.network: Network = backend.create_network(
+            sim, machine.mesh, machine.network_cost, contention, self.engine_plan
+        )
+        if self.network._matched_fast:
+            self.network.bind_deliver(self._deliver_matched)
         self.num_ranks = num_ranks
         if placement is None:
             placement = list(range(num_ranks))
@@ -111,10 +133,16 @@ class World:
         # stays tiny (the pipeline itself never posts wildcards).
         #   exact key: (context_id, dst_world, src_world, tag)
         #   dest key:  (context_id, dst_world)
-        self._sends_exact: dict[tuple, deque[_PendingSend]] = {}
-        self._send_keys: dict[tuple[int, int], set[tuple]] = {}
-        self._recvs_exact: dict[tuple, deque[tuple[RecvRequest, int]]] = {}
-        self._recvs_wild: dict[tuple[int, int], deque[tuple[RecvRequest, int]]] = {}
+        # With an engine plan, both keys are packed into single integers
+        # (tag in the low TAG_BITS) — one int hash per matcher probe
+        # instead of a tuple allocation plus four hashes.
+        self._sends_exact: dict = {}
+        self._send_keys: dict = {}
+        self._recvs_exact: dict = {}
+        self._recvs_wild: dict = {}
+        self._packed = (
+            self.engine_plan is not None and self.engine_plan.pack_match_keys
+        )
         #: Matching-probe counter: queue entries examined while matching
         #: (the figure the indexed fast path drives toward ~1 per message).
         self.match_probes = 0
@@ -170,9 +198,10 @@ class World:
         payload: Any,
         nbytes: int,
     ) -> SendRequest:
-        request = SendRequest(self.sim, dest=dst_world, tag=tag, nbytes=nbytes)
+        sim = self.sim
+        request = SendRequest(sim, dest=dst_world, tag=tag, nbytes=nbytes)
         message = Message(
-            source=src_world, tag=tag, payload=payload, nbytes=nbytes, sent_at=self.sim.now
+            source=src_world, tag=tag, payload=payload, nbytes=nbytes, sent_at=sim._now
         )
         pending = _PendingSend(request, message, src_world, dst_world, next(self._send_seq))
         self.sends_posted += 1
@@ -180,18 +209,28 @@ class World:
             pending.record = self.obs.new_message(
                 src_world, dst_world, tag, nbytes, self.sim.now
             )
-        exact_key = (context_id, dst_world, src_world, tag)
+        if self._packed:
+            ranks = self.num_ranks
+            dest_key = context_id * ranks + dst_world
+            if tag < TAG_LIMIT:
+                exact_key = ((dest_key * ranks + src_world) << TAG_BITS) | tag
+            else:
+                exact_key = self._pack_key(dest_key, src_world, tag)  # raises
+        else:
+            dest_key = (context_id, dst_world)
+            exact_key = (context_id, dst_world, src_world, tag)
         probes = 0
 
+        # Emptied queues are left in their dicts (falsy, so every guard
+        # below still works) — steady-state traffic reuses the same keys,
+        # so this trades a little memory for zero deque churn per message.
         exact_queue = self._recvs_exact.get(exact_key)
         exact_cand = exact_queue[0] if exact_queue else None
         if exact_cand is not None:
             probes += 1
         wild_cand = None
         wild_idx = -1
-        wild_queue = (
-            self._recvs_wild.get((context_id, dst_world)) if self._recvs_wild else None
-        )
+        wild_queue = self._recvs_wild.get(dest_key) if self._recvs_wild else None
         if wild_queue:
             for idx, entry in enumerate(wild_queue):
                 probes += 1
@@ -202,26 +241,28 @@ class World:
 
         if exact_cand is not None and (wild_cand is None or exact_cand[1] < wild_cand[1]):
             exact_queue.popleft()
-            if not exact_queue:
-                del self._recvs_exact[exact_key]
             self._start_transfer(pending, exact_cand[0])
             return request
         if wild_cand is not None:
             del wild_queue[wild_idx]
-            if not wild_queue:
-                del self._recvs_wild[(context_id, dst_world)]
             self._start_transfer(pending, wild_cand[0])
             return request
 
         queue = self._sends_exact.get(exact_key)
         if queue is None:
             queue = self._sends_exact[exact_key] = deque()
-            self._send_keys.setdefault((context_id, dst_world), set()).add(exact_key)
+            self._send_keys.setdefault(dest_key, set()).add(exact_key)
+        elif not queue:
+            self._send_keys.setdefault(dest_key, set()).add(exact_key)
         queue.append(pending)
         if nbytes <= self.eager_threshold:
             # Eager protocol: the message is buffered by the transport; the
-            # sender's buffer is immediately reusable.
-            request.succeed(None)
+            # sender's buffer is immediately reusable.  (Inlined
+            # Event.succeed(None): same writes, same schedule.)
+            request._ok = True
+            request._state = TRIGGERED
+            sim._seq += 1
+            heappush(sim._queue, (sim._now, 1, sim._seq, request))
         return request
 
     def _post_recv(
@@ -230,32 +271,48 @@ class World:
         request = RecvRequest(self.sim, source=source, tag=tag)
         self.recvs_posted += 1
 
+        packed = self._packed
+        if packed:
+            dest_key = context_id * self.num_ranks + dst_world
+        else:
+            dest_key = (context_id, dst_world)
+
         if source != ANY_SOURCE and tag != ANY_TAG:
-            exact_key = (context_id, dst_world, source, tag)
+            if packed:
+                if tag < TAG_LIMIT:
+                    exact_key = ((dest_key * self.num_ranks + source) << TAG_BITS) | tag
+                else:
+                    exact_key = self._pack_key(dest_key, source, tag)  # raises
+            else:
+                exact_key = (context_id, dst_world, source, tag)
             queue = self._sends_exact.get(exact_key)
             if queue:
                 self.match_probes += 1
                 pending = queue.popleft()
                 if not queue:
-                    del self._sends_exact[exact_key]
-                    self._discard_send_key(context_id, dst_world, exact_key)
+                    self._discard_send_key(dest_key, exact_key)
                 self._start_transfer(pending, request)
                 return request
-            self._recvs_exact.setdefault(exact_key, deque()).append(
-                (request, next(self._send_seq))
-            )
+            recv_queue = self._recvs_exact.get(exact_key)
+            if recv_queue is None:
+                recv_queue = self._recvs_exact[exact_key] = deque()
+            recv_queue.append((request, next(self._send_seq)))
             return request
 
         # Wildcard receive: earliest matching send across this
         # destination's exact-key queues (each front is that key's oldest).
-        dest_key = (context_id, dst_world)
         keys = self._send_keys.get(dest_key)
         best = None
         best_key = None
         if keys:
             for key in keys:
                 self.match_probes += 1
-                if request.matches(key[2], key[3]):
+                if packed:
+                    cand_src = (key >> TAG_BITS) % self.num_ranks
+                    cand_tag = key & (TAG_LIMIT - 1)
+                else:
+                    cand_src, cand_tag = key[2], key[3]
+                if request.matches(cand_src, cand_tag):
                     front = self._sends_exact[key][0]
                     if best is None or front.seq < best.seq:
                         best, best_key = front, key
@@ -263,8 +320,7 @@ class World:
             queue = self._sends_exact[best_key]
             queue.popleft()
             if not queue:
-                del self._sends_exact[best_key]
-                self._discard_send_key(context_id, dst_world, best_key)
+                self._discard_send_key(dest_key, best_key)
             self._start_transfer(best, request)
             return request
         self._recvs_wild.setdefault(dest_key, deque()).append(
@@ -272,20 +328,43 @@ class World:
         )
         return request
 
-    def _discard_send_key(self, context_id: int, dst_world: int, exact_key: tuple) -> None:
-        keys = self._send_keys.get((context_id, dst_world))
+    def _pack_key(self, dest_key: int, src_world: int, tag: int) -> int:
+        """One-integer (context, dst, src, tag) key for the lowered matcher."""
+        if tag >= TAG_LIMIT:
+            raise MPIError(
+                f"tag {tag} exceeds the lowered matcher's packed-key bound "
+                f"({TAG_LIMIT - 1}); use the 'python' simulator backend for "
+                "arbitrarily large tags"
+            )
+        return ((dest_key * self.num_ranks + src_world) << TAG_BITS) | tag
+
+    def _discard_send_key(self, dest_key, exact_key) -> None:
+        keys = self._send_keys.get(dest_key)
         if keys is not None:
             keys.discard(exact_key)
             if not keys:
-                del self._send_keys[(context_id, dst_world)]
+                del self._send_keys[dest_key]
 
     def _start_transfer(self, pending: _PendingSend, recv_req: RecvRequest) -> None:
         record = pending.record
+        placement = self.placement
+        network = self.network
+        if network._matched_fast and record is None and network.obs is None:
+            # Lowered backends deliver straight from the slot record — no
+            # completion Event or callback closure per message (the record's
+            # final push consumes the same sequence number ``done.succeed()``
+            # would, so the schedule is bit-identical).
+            network.transfer_matched(
+                placement[pending.src_world],
+                placement[pending.dst_world],
+                pending,
+                recv_req,
+            )
+            return
         if record is not None:
             record.t_recv_post = recv_req.posted_at
             record.t_match = self.sim.now
-        placement = self.placement
-        done = self.network.transfer(
+        done = network.transfer(
             placement[pending.src_world],
             placement[pending.dst_world],
             pending.message.nbytes,
@@ -306,6 +385,34 @@ class World:
             recv_req.succeed(message)
 
         done.callbacks.append(_deliver)
+
+    def _deliver_matched(self, pending: _PendingSend, recv_req: RecvRequest) -> None:
+        """Complete a matched transfer (the fast path's ``_deliver`` body).
+
+        The two request completions are inlined ``Event.succeed`` calls
+        (same state writes, same one-sequence-number ``_schedule`` at the
+        NORMAL priority), saving two call chains on every message.
+        """
+        sim = self.sim
+        now = sim._now
+        message = pending.message
+        message.delivered_at = now
+        comm = recv_req.comm
+        if comm is not None:
+            # Translate world source rank to the receiver's local rank.
+            message.source = comm._local_of_world.get(message.source, message.source)
+        request = pending.request
+        queue = sim._queue
+        if request._state == PENDING:  # eager sends completed early
+            request._ok = True
+            request._state = TRIGGERED
+            sim._seq += 1
+            heappush(queue, (now, 1, sim._seq, request))
+        recv_req._ok = True
+        recv_req._value = message
+        recv_req._state = TRIGGERED
+        sim._seq += 1
+        heappush(queue, (now, 1, sim._seq, recv_req))
 
     # -- diagnostics ----------------------------------------------------------------
     def outstanding_operations(self) -> int:

@@ -53,10 +53,19 @@ class ExecCounters:
 exec_counters = ExecCounters()
 
 
+#: Snapshot keys that identify the run rather than count it; they ride
+#: along in snapshots but are carried through (not differenced) by
+#: :meth:`PerfReport.from_snapshots`.
+_META_KEYS = ("backend", "plan_build_seconds")
+
+
 def snapshot_counters(sim, world=None) -> dict:
     """Raw counter values of a simulator (and optionally its MPI world).
 
     Taken before and after a run, the difference is what the run cost.
+    Besides counters, the snapshot records which simulator backend ran
+    and how long its :class:`~repro.des.backends.plan.EnginePlan` took to
+    build (zero for the reference engine, which lowers nothing).
     """
     counters = {
         "events_processed": sim.events_processed,
@@ -65,14 +74,19 @@ def snapshot_counters(sim, world=None) -> dict:
         "recvs_posted": 0,
         "network_messages": 0,
         "network_bytes": 0,
+        "backend": getattr(sim, "backend", "python"),
+        "plan_build_seconds": 0.0,
     }
     if world is not None:
+        plan = getattr(world, "engine_plan", None)
         counters.update(
             match_probes=world.match_probes,
             sends_posted=world.sends_posted,
             recvs_posted=world.recvs_posted,
             network_messages=world.network.messages_sent,
             network_bytes=world.network.bytes_sent,
+            backend=getattr(world, "backend", counters["backend"]),
+            plan_build_seconds=plan.build_seconds if plan is not None else 0.0,
         )
     return counters
 
@@ -97,6 +111,11 @@ class PerfReport:
     recvs_posted: int = 0
     network_messages: int = 0
     network_bytes: int = 0
+    #: Which simulator core ran (``python`` / ``lowered`` / ``compiled``).
+    backend: str = ""
+    #: Wall seconds spent building the backend's :class:`EnginePlan`
+    #: tables before the run (zero for the reference engine).
+    plan_build_seconds: float = 0.0
     #: Optional label (case name, mode) carried into serialized output.
     label: str = ""
     extras: dict = field(default_factory=dict)
@@ -130,12 +149,22 @@ class PerfReport:
         label: str = "",
     ) -> "PerfReport":
         """Build a report from :func:`snapshot_counters` pairs."""
-        delta = {key: after[key] - before[key] for key in before}
+        delta = {
+            key: after[key] - before[key]
+            for key in before
+            if key not in _META_KEYS
+        }
         return cls(
             wall_seconds=wall_seconds,
             sim_seconds=sim_seconds,
             num_cpis=num_cpis,
             label=label,
+            backend=str(after.get("backend", before.get("backend", ""))),
+            plan_build_seconds=float(
+                after.get(
+                    "plan_build_seconds", before.get("plan_build_seconds", 0.0)
+                )
+            ),
             **delta,
         )
 
@@ -170,6 +199,8 @@ class PerfReport:
             "recvs_posted": self.recvs_posted,
             "network_messages": self.network_messages,
             "network_bytes": self.network_bytes,
+            "backend": self.backend,
+            "plan_build_seconds": self.plan_build_seconds,
             "events_per_second": self.events_per_second,
             "probes_per_message": self.probes_per_message,
             "wall_seconds_per_cpi": self.wall_seconds_per_cpi,
@@ -186,6 +217,11 @@ class PerfReport:
             f"events processed   {self.events_processed:10d}"
             f"   ({self.events_per_second:10.0f} events/s)",
         ]
+        if self.backend:
+            lines.append(
+                f"engine backend     {self.backend:>10s}"
+                f"   ({self.plan_build_seconds * 1e3:10.1f} ms plan build)"
+            )
         # Zero-valued counters are printed, not omitted: a silent omission
         # makes a before/after diff read as "unchanged" when the counter
         # actually collapsed to zero.

@@ -62,8 +62,17 @@ class TestCounters:
             "recvs_posted",
             "network_messages",
             "network_bytes",
+            "backend",
+            "plan_build_seconds",
         }
-        assert all(v == 0 for v in snap.values())
+        # Counters start at zero; the meta keys identify the run instead.
+        assert all(
+            v == 0
+            for k, v in snap.items()
+            if k not in ("backend", "plan_build_seconds")
+        )
+        assert snap["backend"] == "python"
+        assert snap["plan_build_seconds"] == 0.0
         # Simulator-only snapshot still carries every key.
         assert set(snapshot_counters(sim)) == set(snap)
 
