@@ -25,7 +25,6 @@ measurement, which writes ``BENCH_kernels.json`` at the repository root::
 
 from __future__ import annotations
 
-import json
 import sys
 import time
 from contextlib import contextmanager
@@ -350,14 +349,14 @@ def test_kernels_smoke():
 
 # -- script entry point ----------------------------------------------------------
 def _merge_results(updates: dict) -> None:
-    existing = {}
-    if RESULTS_PATH.exists():
-        try:
-            existing = json.loads(RESULTS_PATH.read_text())
-        except ValueError:
-            existing = {}
-    existing.update(updates)
-    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    """Write results, printing the regression-gate table against the
+    previous generation (see :func:`benchmarks.common.merge_results`)."""
+    try:
+        from benchmarks.common import merge_results
+    except ImportError:  # script mode: benchmarks/ itself is sys.path[0]
+        from common import merge_results
+
+    merge_results(RESULTS_PATH, updates)
 
 
 def main(argv=None) -> int:

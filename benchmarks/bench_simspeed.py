@@ -23,7 +23,6 @@ parallel executor comparison::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -53,15 +52,15 @@ def _usable_cpus() -> int:
 
 
 def _merge_results(updates: dict) -> None:
-    """Merge one section into the results file without clobbering others."""
-    existing = {}
-    if RESULTS_PATH.exists():
-        try:
-            existing = json.loads(RESULTS_PATH.read_text())
-        except ValueError:
-            existing = {}
-    existing.update(updates)
-    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    """Merge one section into the results file without clobbering others
+    (printing the regression-gate delta table against the previous
+    generation; see :func:`benchmarks.common.merge_results`)."""
+    try:
+        from benchmarks.common import merge_results
+    except ImportError:  # script mode: benchmarks/ itself is sys.path[0]
+        from common import merge_results
+
+    merge_results(RESULTS_PATH, updates)
 
 
 def measure_case(
@@ -366,6 +365,46 @@ def test_obs_overhead():
     assert ratio < 3.0, f"observability overhead {ratio:.2f}x (budget 3x)"
     _merge_results({
         "obs_overhead": {
+            "off_wall_seconds": off_s,
+            "on_wall_seconds": on_s,
+            "ratio": ratio,
+        }
+    })
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.metrics
+def test_metrics_overhead():
+    """Guard the cost of the campaign-metrics layer.
+
+    Metrics are pull-based — one enabled check up front, one flush of
+    already-maintained counters after the run — so a metered run must be
+    simulated-identically and stay within 1.5x of an unmetered one.
+    """
+    from repro.obs.metrics import metrics_registry
+
+    def timed(metered: bool) -> tuple[float, dict]:
+        if metered:
+            metrics_registry.enable(reset=True)
+        try:
+            t0 = time.perf_counter()
+            record = measure_case("case3")
+            return time.perf_counter() - t0, record
+        finally:
+            metrics_registry.disable()
+
+    off_s, off = timed(False)
+    on_s, on = timed(True)
+    ratio = on_s / off_s if off_s else float("inf")
+    print()
+    print(f"metrics off: {off_s:6.2f} s   on: {on_s:6.2f} s   ratio {ratio:.2f}x")
+    # Bit-identical simulated run either way.
+    assert on["makespan"] == off["makespan"]
+    assert on["events_processed"] == off["events_processed"]
+    assert on["network_messages"] == off["network_messages"]
+    assert ratio < 1.5, f"metrics overhead {ratio:.2f}x (budget 1.5x)"
+    _merge_results({
+        "metrics_overhead": {
             "off_wall_seconds": off_s,
             "on_wall_seconds": on_s,
             "ratio": ratio,

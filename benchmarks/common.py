@@ -16,6 +16,9 @@ configurations share one simulation.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro import Assignment, STAPParams
 from repro.exec import PointResult, SimPoint, execute_point
 
@@ -57,6 +60,37 @@ def run_assignment(
 def run_case(assignment: Assignment, measured: bool = True) -> PointResult:
     """Simulate one of the named paper assignments (result-cached)."""
     return _run_cached(assignment.counts(), measured)
+
+
+def merge_results(path, updates: dict, tolerance: float = 0.10) -> dict:
+    """Merge one section into a ``BENCH_*.json`` file, gating the update.
+
+    When the file already holds a previous generation, the merged document
+    is diffed against it with :mod:`repro.obs.regress` and the pass/fail
+    delta table printed, so every benchmark refresh shows at a glance what
+    moved and whether it moved the wrong way.  The gate prints rather than
+    raises — wall-clock noise on shared hosts is for the human refreshing
+    the file to judge (``python -m repro.obs.regress old new`` gives the
+    same table with a hard exit code for CI).
+    """
+    path = Path(path)
+    existing = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            existing = {}
+    merged = {**existing, **updates}
+    if existing:
+        from repro.obs.regress import compare
+
+        report = compare(existing, merged, tolerance=tolerance)
+        print()
+        print(f"--- regression gate: {path.name} "
+              f"(tolerance {tolerance * 100:.0f}%)")
+        print(report.table())
+    path.write_text(json.dumps(merged, indent=2) + "\n")
+    return merged
 
 
 def error_pct(measured: float, paper: float) -> float:

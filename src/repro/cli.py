@@ -50,6 +50,37 @@ NAMED_CASES = {
 }
 
 
+def _enable_metrics(args) -> bool:
+    """Turn the metrics registry on when ``--metrics-out`` was given."""
+    if not getattr(args, "metrics_out", None):
+        return False
+    from repro.obs.metrics import metrics_registry
+
+    metrics_registry.enable(reset=True)
+    return True
+
+
+def _write_metrics(args) -> None:
+    """Dump the registry to ``--metrics-out`` in the requested format."""
+    from repro.obs.metrics import metrics_registry, write_snapshot
+
+    path = write_snapshot(
+        metrics_registry.snapshot(), args.metrics_out, format=args.metrics_format
+    )
+    metrics_registry.disable()
+    print(f"wrote metrics {path} ({args.metrics_format})")
+
+
+def _add_metrics_flags(subparser) -> None:
+    subparser.add_argument("--metrics-out", metavar="PATH", default=None,
+                           help="enable the metrics registry and write its "
+                                "snapshot to PATH after the run")
+    subparser.add_argument("--metrics-format", choices=("json", "prom"),
+                           default="json",
+                           help="snapshot format for --metrics-out "
+                                "(JSON or Prometheus text)")
+
+
 def cmd_flops(_args) -> int:
     print(flops.flops_table(STAPParams.paper()))
     return 0
@@ -58,6 +89,7 @@ def cmd_flops(_args) -> int:
 def cmd_case(args) -> int:
     assignment = NAMED_CASES[args.name]
     trace = bool(args.trace_out or args.report)
+    metered = _enable_metrics(args)
     pipeline = STAPPipeline(
         STAPParams.paper(), assignment, num_cpis=args.cpis, perf=args.perf,
         trace=trace, backend=args.backend,
@@ -79,6 +111,8 @@ def cmd_case(args) -> int:
             result.trace, args.trace_out, mesh=pipeline.machine.mesh
         )
         print(f"\nwrote timeline {path} (open at https://ui.perfetto.dev)")
+    if metered:
+        _write_metrics(args)
     if args.profile:
         from repro.perf import profile_run
 
@@ -181,12 +215,18 @@ def cmd_sweep(args) -> int:
     cache = None if args.no_cache else ResultCache(directory=args.cache_dir)
     if cache is not None:
         set_default_cache(cache)
+    metered = _enable_metrics(args)
+    dash = None
+    if args.dashboard:
+        from repro.obs import SweepDashboard
+
+        dash = SweepDashboard(label=f"sweep:{args.kind}")
     before = exec_counters.snapshot()
     if args.kind == "speedup":
         nodes = [int(n) for n in args.nodes.split(",")]
         series = speedup_series(
             args.task, nodes, num_cpis=args.cpis, jobs=args.jobs, cache=cache,
-            backend=args.backend,
+            backend=args.backend, progress=dash,
         )
         print(f"=== Figure 11 series: {args.task} "
               f"(jobs={args.jobs}, {len(series)} points) ===")
@@ -200,7 +240,7 @@ def cmd_sweep(args) -> int:
         budgets = [int(b) for b in args.budgets.split(",")]
         curve = scalability_curve(
             budgets, num_cpis=args.cpis, measured=args.measured,
-            jobs=args.jobs, cache=cache, backend=args.backend,
+            jobs=args.jobs, cache=cache, backend=args.backend, progress=dash,
         )
         print(f"=== scalability curve (jobs={args.jobs}, "
               f"{len(curve)} points) ===")
@@ -214,6 +254,11 @@ def cmd_sweep(args) -> int:
           f"{delta['simulations_run']} simulated, {hits} from cache "
           f"({delta['cache_hits_disk']} disk), "
           f"{delta['point_errors']} errors")
+    if dash is not None:
+        print()
+        print(dash.summary())
+    if metered:
+        _write_metrics(args)
     return 0
 
 
@@ -258,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "of the run to PATH")
     p_case.add_argument("--report", action="store_true",
                         help="print the per-task/per-link bottleneck report")
+    _add_metrics_flags(p_case)
     p_case.set_defaults(fn=cmd_case)
 
     p_rr = sub.add_parser("roundrobin", help="Section 2 baseline")
@@ -318,6 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=("python", "lowered", "compiled", "auto"),
                       default=None,
                       help="simulator core for every point of the sweep")
+    p_sw.add_argument("--dashboard", action="store_true",
+                      help="live progress line on stderr plus a final "
+                           "campaign summary (rate, hit rate, stage "
+                           "latency sparklines)")
+    _add_metrics_flags(p_sw)
     p_sw.set_defaults(fn=cmd_sweep)
 
     p_tl = sub.add_parser("timeline", help="ASCII Gantt of a pipeline run")

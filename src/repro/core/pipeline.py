@@ -242,7 +242,18 @@ class STAPPipeline:
     def run(self) -> PipelineResult:
         """Simulate the whole run and aggregate the paper's measurements."""
         from repro.des.backends import get_backend
+        from repro.obs.metrics import (
+            kernel_stats_snapshot,
+            metrics_registry,
+            record_pipeline_run,
+        )
 
+        # Pull-based metrics: snapshot the kernel counters up front, then
+        # flush everything the run already counted *after* sim.run(), so
+        # an enabled registry can never perturb a virtual timestamp.
+        kernel_before = (
+            kernel_stats_snapshot() if metrics_registry.enabled else None
+        )
         engine = get_backend(self.backend)
         sim = engine.create_simulator()
         world = World(
@@ -294,6 +305,11 @@ class STAPPipeline:
         if sink is not None:
             sink.meta["makespan"] = sim.now
         metrics = self._aggregate(collector)
+        if metrics_registry.enabled:
+            record_pipeline_run(
+                self, sim, world, metrics,
+                makespan=sim.now, kernel_before=kernel_before,
+            )
         reports = self._reports(collector)
         return PipelineResult(
             metrics=metrics,

@@ -39,6 +39,13 @@ class Simulator:
         #: counter is maintained with one local increment per event, which
         #: is not measurable against the cost of processing the event).
         self.events_processed: int = 0
+        #: Peak event-heap depth observed at :meth:`_schedule` time (one
+        #: ``len`` + compare per scheduled event, same always-on budget as
+        #: ``events_processed``).  Fast paths that push onto the heap
+        #: directly — eager-send completions, lowered slot records — are
+        #: not sampled, so this is a tight lower bound on the true peak;
+        #: it feeds the ``des_heap_depth_peak`` metrics gauge.
+        self.heap_peak: int = 0
         #: Optional structured tracer (installed by :class:`repro.des.Tracer`).
         self.tracer = None
         if trace:
@@ -104,6 +111,8 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        if len(self._queue) > self.heap_peak:
+            self.heap_peak = len(self._queue)
 
     # -- running -----------------------------------------------------------------
     def step(self) -> None:

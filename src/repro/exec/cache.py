@@ -64,6 +64,26 @@ from repro.version import __version__
 #: 2: cache keys gained the resolved engine-backend identity.
 CACHE_SCHEMA = 2
 
+_metrics_registry = None
+
+
+def _metrics():
+    """The process metrics registry, imported lazily (repro.obs pulls in
+    repro.core; a module-level import here would risk a cycle)."""
+    global _metrics_registry
+    if _metrics_registry is None:
+        from repro.obs.metrics import metrics_registry
+
+        _metrics_registry = metrics_registry
+    return _metrics_registry
+
+
+def _count(name: str, help: str, **labels) -> None:
+    """Record one cache event into the metrics registry when it is on."""
+    reg = _metrics()
+    if reg.enabled:
+        reg.counter(name, help, labels=labels or None).inc()
+
 
 # -- fingerprinting ------------------------------------------------------------------
 def _canon(value):
@@ -184,27 +204,36 @@ class ResultCache:
         cached = self._memory.get(key)
         if cached is not None:
             self._memory.move_to_end(key)
-            exec_counters.cache_hits_memory += 1
+            exec_counters.inc("cache_hits_memory")
+            _count("exec_cache_hits_total", "result-cache hits", layer="memory")
             return deepcopy(cached)
         if self.directory is not None:
             path = self._disk_path(key)
             try:
                 with open(path, "rb") as handle:
                     result = pickle.load(handle)
+            except FileNotFoundError:
+                result = None
             except Exception:
-                # Missing, truncated, or corrupt entry: a miss, not a crash.
+                # Truncated or corrupt entry: a (counted) miss, not a crash.
+                exec_counters.inc("cache_corrupt")
+                _count("exec_cache_corrupt_total",
+                       "disk entries that existed but failed to load")
                 result = None
             if result is not None:
-                exec_counters.cache_hits_disk += 1
+                exec_counters.inc("cache_hits_disk")
+                _count("exec_cache_hits_total", "result-cache hits", layer="disk")
                 self._remember(key, result)
                 return deepcopy(result)
-        exec_counters.cache_misses += 1
+        exec_counters.inc("cache_misses")
+        _count("exec_cache_misses_total", "result-cache lookups that missed")
         return None
 
     def put(self, key: str, result) -> None:
         """Store one result under its content key (memory, then disk)."""
         self._remember(key, deepcopy(result))
-        exec_counters.cache_stores += 1
+        exec_counters.inc("cache_stores")
+        _count("exec_cache_stores_total", "results written into the cache")
         if self.directory is None:
             return
         # Atomic publish: a reader never sees a half-written entry.

@@ -57,6 +57,10 @@ class PointOutcome:
     cached: bool = False
     #: Host seconds spent simulating this point (0.0 for cache hits).
     elapsed: float = 0.0
+    #: Per-point :class:`~repro.obs.metrics.MetricsSnapshot` dict shipped
+    #: back by a pool worker (None for cache hits, serial runs — which
+    #: record straight into the parent registry — and metrics-off runs).
+    metrics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -72,14 +76,32 @@ class PointOutcome:
         return self.result
 
 
-def _run_point(index: int, point: SimPoint):
-    """Worker body: never raises, so one bad point cannot kill the pool."""
+def _run_point(index: int, point: SimPoint, collect_metrics: bool = False):
+    """Worker body: never raises, so one bad point cannot kill the pool.
+
+    With ``collect_metrics`` the worker's (forked, possibly dirty)
+    registry is reset and enabled for exactly this point, and the frozen
+    snapshot rides home as the fifth tuple element for the parent to
+    merge — giving ``jobs>1`` the same campaign-wide totals a serial run
+    records directly.
+    """
+    registry = None
+    if collect_metrics:
+        from repro.obs.metrics import metrics_registry as registry
+
+        registry.enable(reset=True)
     start = time.perf_counter()
     try:
         result = point.run()
-        return index, result, None, time.perf_counter() - start
+        error = None
     except Exception:
-        return index, None, traceback.format_exc(), time.perf_counter() - start
+        result, error = None, traceback.format_exc()
+    elapsed = time.perf_counter() - start
+    snapshot = None
+    if registry is not None:
+        snapshot = registry.snapshot().to_dict()
+        registry.disable()
+    return index, result, error, elapsed, snapshot
 
 
 def run_points(
@@ -93,6 +115,8 @@ def run_points(
     ``cache`` is the process default unless given explicitly; pass
     ``None`` to disable caching entirely.
     """
+    from repro.obs.metrics import metrics_registry
+
     points = list(points)
     if jobs < 1:
         raise ExecutionError(f"jobs must be >= 1, got {jobs}")
@@ -100,21 +124,40 @@ def run_points(
     total = len(points)
     outcomes: list[Optional[PointOutcome]] = [None] * total
     completed = 0
+    metered = metrics_registry.enabled
 
     def note(outcome: PointOutcome) -> None:
         nonlocal completed
         outcomes[outcome.index] = outcome
         completed += 1
         if outcome.error is not None:
-            exec_counters.point_errors += 1
-        elif not outcome.cached:
-            exec_counters.simulations_run += 1
+            exec_counters.inc("point_errors")
+            status = "error"
+        elif outcome.cached:
+            status = "cached"
+        else:
+            exec_counters.inc("simulations_run")
+            status = "simulated"
+        if metered:
+            metrics_registry.counter(
+                "exec_points_total", "points completed by the batch executor",
+                labels={"status": status},
+            ).inc()
+            if status == "simulated":
+                metrics_registry.histogram(
+                    "exec_point_seconds", "host seconds per simulated point",
+                ).observe(outcome.elapsed)
         if progress is not None:
-            progress(completed, total, outcome)
+            # Containment: a flaky progress consumer (a dashboard writing
+            # to a closed terminal, say) must not kill a multi-hour sweep.
+            try:
+                progress(completed, total, outcome)
+            except Exception:
+                exec_counters.inc("progress_errors")
 
     pending: list[tuple[int, SimPoint, Optional[str]]] = []
     for index, point in enumerate(points):
-        exec_counters.points_submitted += 1
+        exec_counters.inc("points_submitted")
         key = cache_key(point) if store is not None else None
         if store is not None:
             hit = store.get(key)
@@ -128,9 +171,14 @@ def run_points(
 
     keys = {index: key for index, _, key in pending}
 
-    def settle(index: int, result, error, elapsed: float) -> None:
+    def settle(index: int, result, error, elapsed: float,
+               metrics: Optional[dict] = None) -> None:
         if error is None and store is not None and keys[index] is not None:
             store.put(keys[index], result)
+        if metrics is not None:
+            # Worker snapshots fold into the parent registry as they land,
+            # so the merged totals match what a serial sweep records.
+            metrics_registry.merge(metrics)
         note(
             PointOutcome(
                 index=index,
@@ -138,10 +186,14 @@ def run_points(
                 result=result,
                 error=error,
                 elapsed=elapsed,
+                metrics=metrics,
             )
         )
 
     if jobs == 1 or len(pending) == 1:
+        # In-process points record into the parent registry directly via
+        # the pipeline's own flush; collecting per-point snapshots here
+        # would double-count.
         for index, point, _ in pending:
             settle(*_run_point(index, point))
         return outcomes  # type: ignore[return-value]
@@ -149,7 +201,7 @@ def run_points(
     workers = min(jobs, len(pending))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
-            pool.submit(_run_point, index, point): index
+            pool.submit(_run_point, index, point, metered): index
             for index, point, _ in pending
         }
         remaining = set(futures)
@@ -157,13 +209,15 @@ def run_points(
             done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
             for future in done:
                 try:
-                    index, result, error, elapsed = future.result()
+                    index, result, error, elapsed, metrics = future.result()
                 except Exception:
                     # The pool itself failed (worker killed, unpicklable
                     # payload): charge it to the point, keep the batch.
                     index = futures[future]
-                    result, error, elapsed = None, traceback.format_exc(), 0.0
-                settle(index, result, error, elapsed)
+                    result, error, elapsed, metrics = (
+                        None, traceback.format_exc(), 0.0, None,
+                    )
+                settle(index, result, error, elapsed, metrics)
     return outcomes  # type: ignore[return-value]
 
 

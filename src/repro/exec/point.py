@@ -150,9 +150,9 @@ def probe_throughput(pipeline) -> Optional[float]:
     key = cache_key(point)
     hit = cache.get(key)
     if hit is not None:
-        exec_counters.probe_cache_hits += 1
+        exec_counters.inc("probe_cache_hits")
         return hit.metrics.measured_throughput
     result = point.run()
-    exec_counters.simulations_run += 1
+    exec_counters.inc("simulations_run")
     cache.put(key, result)
     return result.metrics.measured_throughput

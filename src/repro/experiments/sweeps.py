@@ -49,11 +49,11 @@ def _traced_run(point: SimPoint, trace_dir, point_name: str):
     return result
 
 
-def _run_sweep_points(points, names, trace_dir, jobs, cache):
+def _run_sweep_points(points, names, trace_dir, jobs, cache, progress=None):
     """Results for a sweep's points, one per point, in input order."""
     if trace_dir is not None:
         return [_traced_run(p, trace_dir, name) for p, name in zip(points, names)]
-    outcomes = run_points(points, jobs=jobs, cache=cache)
+    outcomes = run_points(points, jobs=jobs, cache=cache, progress=progress)
     raise_on_failures(outcomes)
     return [outcome.result for outcome in outcomes]
 
@@ -94,12 +94,15 @@ def speedup_series(
     jobs: int = 1,
     cache=USE_DEFAULT_CACHE,
     backend: Optional[str] = None,
+    progress=None,
 ) -> list[SpeedupPoint]:
     """Figure 11: computation time & speedup of one task vs its node count.
 
     The other tasks are held at case-2 counts; each point is one
     full-pipeline simulation's comp column.  Points are independent, so
     they run through the executor (``jobs`` workers, result-cached).
+    ``progress`` is an executor :data:`~repro.exec.executor.ProgressCallback`
+    (e.g. a :class:`repro.obs.SweepDashboard`); ignored for traced sweeps.
     """
     if task not in TASK_NAMES:
         raise ConfigurationError(f"unknown task {task!r}")
@@ -121,7 +124,7 @@ def speedup_series(
             )
         )
         names.append(name)
-    results = _run_sweep_points(points, names, trace_dir, jobs, cache)
+    results = _run_sweep_points(points, names, trace_dir, jobs, cache, progress)
     series = []
     base_comp = None
     base_nodes = None
@@ -160,6 +163,7 @@ def scalability_curve(
     jobs: int = 1,
     cache=USE_DEFAULT_CACHE,
     backend: Optional[str] = None,
+    progress=None,
 ) -> list[ScalabilityPoint]:
     """Throughput/latency vs total node budget, with optimized assignments.
 
@@ -184,7 +188,7 @@ def scalability_curve(
         for assignment in assignments
     ]
     names = [f"budget-{budget}" for budget in budgets]
-    results = _run_sweep_points(points, names, trace_dir, jobs, cache)
+    results = _run_sweep_points(points, names, trace_dir, jobs, cache, progress)
     return [
         ScalabilityPoint(
             budget=budget,

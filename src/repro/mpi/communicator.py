@@ -149,6 +149,12 @@ class World:
         #: Point-to-point operations posted (sends, receives).
         self.sends_posted = 0
         self.recvs_posted = 0
+        #: Wildcard traffic: receives posted with ANY_SOURCE/ANY_TAG, and
+        #: matches that involved one.  The pipeline itself posts none, so
+        #: these stay on the cold path; nonzero values flag a workload the
+        #: indexed matcher cannot serve at ~1 probe/op.
+        self.wildcard_recvs = 0
+        self.wildcard_hits = 0
         #: Optional :class:`~repro.obs.TraceSink` recording per-message
         #: post -> match -> complete lifecycles.  Attached by the pipeline;
         #: when None (the default) the matcher pays one ``is None`` check
@@ -245,6 +251,7 @@ class World:
             return request
         if wild_cand is not None:
             del wild_queue[wild_idx]
+            self.wildcard_hits += 1
             self._start_transfer(pending, wild_cand[0])
             return request
 
@@ -301,6 +308,7 @@ class World:
 
         # Wildcard receive: earliest matching send across this
         # destination's exact-key queues (each front is that key's oldest).
+        self.wildcard_recvs += 1
         keys = self._send_keys.get(dest_key)
         best = None
         best_key = None
@@ -321,6 +329,7 @@ class World:
             queue.popleft()
             if not queue:
                 self._discard_send_key(dest_key, best_key)
+            self.wildcard_hits += 1
             self._start_transfer(best, request)
             return request
         self._recvs_wild.setdefault(dest_key, deque()).append(

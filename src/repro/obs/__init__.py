@@ -21,6 +21,18 @@ bit-identical either way (enforced by the golden-fastpath tests).
 
 Enable via ``STAPPipeline(..., trace=True)`` or the CLI's
 ``repro-stap case --trace-out timeline.json --report``.
+
+Campaign-scale telemetry lives alongside the single-run trace layer:
+
+* :mod:`repro.obs.metrics` — the process-wide :data:`metrics_registry`
+  of :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments
+  with snapshot/merge semantics across executor worker processes,
+  JSON/Prometheus export (``--metrics-out`` / ``--metrics-format``);
+* :mod:`repro.obs.dashboard` — :class:`SweepDashboard`, a live terminal
+  progress callback for sweeps (points/s, cache hit rate, errors, ETA,
+  per-stage latency histograms);
+* :mod:`repro.obs.regress` — the benchmark/metrics regression gate
+  (``python -m repro.obs.regress baseline.json current.json``).
 """
 
 from repro.obs.spans import (
@@ -32,8 +44,32 @@ from repro.obs.spans import (
     bucket_bounds,
     wait_bucket,
 )
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    metrics_registry,
+    to_prometheus,
+    write_snapshot,
+)
 from repro.obs.export import chrome_trace, write_chrome_trace
 from repro.obs.report import EdgeTraffic, PipelineObsReport, build_report
+from repro.obs.dashboard import SweepDashboard
+
+_REGRESS_EXPORTS = ("RegressionReport", "compare", "compare_files")
+
+
+def __getattr__(name):
+    # Lazy: ``python -m repro.obs.regress`` first imports this package, and
+    # an eager submodule import here would trigger runpy's found-in-
+    # sys.modules RuntimeWarning on every CLI gate invocation.
+    if name in _REGRESS_EXPORTS:
+        from repro.obs import regress
+
+        return getattr(regress, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ITERATION_PHASES",
@@ -48,4 +84,16 @@ __all__ = [
     "build_report",
     "PipelineObsReport",
     "EdgeTraffic",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "metrics_registry",
+    "to_prometheus",
+    "write_snapshot",
+    "SweepDashboard",
+    "RegressionReport",
+    "compare",
+    "compare_files",
 ]

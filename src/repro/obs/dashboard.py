@@ -1,0 +1,216 @@
+"""Live terminal dashboard for executor sweeps.
+
+A :class:`SweepDashboard` is an ordinary
+:data:`~repro.exec.executor.ProgressCallback` — plug it into
+:func:`repro.exec.run_points` (or the sweep runners' ``progress=``, or the
+CLI's ``sweep --dashboard``) and it renders a one-line live status as
+points complete::
+
+    sweep [#########-----------]  12/25  48%  3.1 pts/s  hits 33%  err 0  ETA 4.2s
+
+plus, on :meth:`summary`, a final block with per-stage latency histograms
+aggregated over every completed point (tiny unicode sparklines over the
+fixed :data:`~repro.obs.metrics.SECONDS_BUCKETS`).
+
+The dashboard is read-only: it consumes the ``PointOutcome`` stream and
+keeps its own private instruments, so it composes with (but does not
+require) an enabled :data:`~repro.obs.metrics.metrics_registry`.  On a
+TTY the status line redraws in place (``\\r``); on a plain stream it
+prints at most one line per ``min_interval`` seconds so logs stay small.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+from repro.core.assignment import TASK_NAMES
+from repro.obs.metrics import Histogram, MetricsRegistry, SECONDS_BUCKETS
+
+#: Sparkline glyphs, lowest to highest.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(counts) -> str:
+    """Unicode mini-histogram of a bucket-count sequence."""
+    peak = max(counts) if counts else 0
+    if peak <= 0:
+        return ""
+    return "".join(
+        " " if n == 0 else _SPARKS[min(len(_SPARKS) - 1,
+                                       int(n / peak * (len(_SPARKS) - 1)))]
+        for n in counts
+    )
+
+
+def _trim(counts, bounds) -> tuple[list, list]:
+    """Drop empty leading/trailing buckets so sparklines stay compact."""
+    nonzero = [i for i, n in enumerate(counts) if n]
+    if not nonzero:
+        return [], []
+    lo, hi = nonzero[0], nonzero[-1] + 1
+    padded_bounds = list(bounds) + [float("inf")]
+    return counts[lo:hi], padded_bounds[lo:hi]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds != seconds or seconds == float("inf"):  # NaN / unknown
+        return "?"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+class SweepDashboard:
+    """Progress callback rendering sweep status live in the terminal.
+
+    Parameters
+    ----------
+    stream:
+        Output stream (default ``sys.stderr``, keeping stdout clean for
+        the sweep's own tables).
+    min_interval:
+        Minimum seconds between redraws (rate limit; the final point
+        always renders).
+    label:
+        Prefix shown on the status line.
+    clock:
+        Injectable monotonic clock (tests pin it).
+
+    The callback never raises on malformed outcomes — a sweep must not die
+    because its progress display hiccuped (the executor additionally
+    contains callback errors; see ``run_points``).
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.2,
+        label: str = "sweep",
+        clock=time.monotonic,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.label = label
+        self.clock = clock
+        self.started_at: Optional[float] = None
+        self.completed = 0
+        self.total = 0
+        self.cached = 0
+        self.errors = 0
+        self.sim_seconds = 0.0
+        #: Private per-stage comp-seconds histograms (task -> Histogram).
+        self._stage_registry = MetricsRegistry()
+        self._stage_registry.enable()
+        self._last_render = float("-inf")
+        self._line_len = 0
+
+    # -- the progress callback ---------------------------------------------------
+    def __call__(self, completed: int, total: int, outcome) -> None:
+        now = self.clock()
+        if self.started_at is None:
+            self.started_at = now
+        self.completed = completed
+        self.total = total
+        if getattr(outcome, "cached", False):
+            self.cached += 1
+        if getattr(outcome, "error", None) is not None:
+            self.errors += 1
+        self.sim_seconds += getattr(outcome, "elapsed", 0.0)
+        result = getattr(outcome, "result", None)
+        metrics = getattr(result, "metrics", None)
+        if metrics is not None:
+            for task, tm in metrics.tasks.items():
+                self._stage_histogram(task).observe(tm.comp)
+        if completed >= total or now - self._last_render >= self.min_interval:
+            self._last_render = now
+            self.render(now)
+
+    def _stage_histogram(self, task: str) -> Histogram:
+        return self._stage_registry.histogram(
+            "stage_comp_seconds", "per-point steady-state comp seconds",
+            labels={"task": task}, buckets=SECONDS_BUCKETS,
+        )
+
+    # -- derived figures ---------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return max(self.clock() - self.started_at, 0.0)
+
+    @property
+    def points_per_second(self) -> float:
+        elapsed = self.elapsed
+        return self.completed / elapsed if elapsed > 0 else float("nan")
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cached / self.completed if self.completed else 0.0
+
+    @property
+    def eta_seconds(self) -> float:
+        rate = self.points_per_second
+        if not rate or rate != rate:
+            return float("nan")
+        return (self.total - self.completed) / rate
+
+    # -- rendering ---------------------------------------------------------------
+    def status_line(self, now: Optional[float] = None) -> str:
+        done, total = self.completed, self.total
+        frac = done / total if total else 0.0
+        width = 20
+        filled = int(frac * width)
+        bar = "#" * filled + "-" * (width - filled)
+        rate = self.points_per_second
+        rate_s = f"{rate:5.1f}" if rate == rate else "    ?"
+        return (
+            f"{self.label} [{bar}] {done:>4}/{total} {frac * 100:3.0f}%  "
+            f"{rate_s} pts/s  hits {self.cache_hit_rate * 100:3.0f}%  "
+            f"err {self.errors}  ETA {_fmt_seconds(self.eta_seconds)}"
+        )
+
+    def render(self, now: Optional[float] = None) -> None:
+        line = self.status_line(now)
+        try:
+            if getattr(self.stream, "isatty", lambda: False)():
+                pad = max(self._line_len - len(line), 0)
+                self.stream.write("\r" + line + " " * pad)
+                if self.completed >= self.total:
+                    self.stream.write("\n")
+            else:
+                self.stream.write(line + "\n")
+            self.stream.flush()
+            self._line_len = len(line)
+        except (OSError, ValueError):
+            # A closed/broken stream must never kill the sweep.
+            pass
+
+    def summary(self) -> str:
+        """Final multi-line block: totals plus per-stage comp histograms."""
+        lines = [
+            f"--- {self.label} dashboard",
+            f"points      {self.completed}/{self.total}  "
+            f"({self.cached} cached, {self.errors} errors)",
+            f"wall        {_fmt_seconds(self.elapsed)}  "
+            f"({self.points_per_second:.2f} pts/s, "
+            f"{self.sim_seconds:.1f} s simulating)",
+        ]
+        snapshot = self._stage_registry.snapshot()
+        stage_rows = []
+        for task in TASK_NAMES:
+            hist = snapshot.histogram("stage_comp_seconds", {"task": task})
+            if hist is None or not hist["count"]:
+                continue
+            counts, bounds = _trim(hist["counts"], hist["bounds"])
+            mean = hist["sum"] / hist["count"]
+            stage_rows.append(
+                f"  {task:<18} {mean * 1e3:>8.1f} ms mean  {sparkline(counts)}"
+            )
+        if stage_rows:
+            lines.append("stage comp seconds per CPI (mean, distribution):")
+            lines.extend(stage_rows)
+        return "\n".join(lines)

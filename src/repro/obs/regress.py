@@ -1,0 +1,276 @@
+"""Benchmark/metrics regression gate: diff two JSON documents, fail on drift.
+
+``repro.obs.regress`` compares any two JSON documents of numbers — two
+``BENCH_simspeed.json`` / ``BENCH_kernels.json`` generations, a metrics
+snapshot against a stored baseline, two sweep summaries — and flags every
+leaf whose change exceeds a tolerance *in the bad direction*.  Direction
+is inferred from the metric's name (``events_per_second`` up is good,
+``wall_seconds`` up is bad, unrecognized names are informational only),
+so the same tool gates both throughput-like and latency-like figures.
+
+Library use::
+
+    from repro.obs.regress import compare
+
+    report = compare(baseline_doc, current_doc, tolerance=0.10)
+    print(report.table())
+    assert report.ok, report.summary()
+
+Command line (exit code 1 on regression, 2 on bad input)::
+
+    python -m repro.obs.regress BENCH_simspeed.json.old BENCH_simspeed.json \\
+        --tolerance 0.10
+
+The benchmark scripts run this automatically: updating a ``BENCH_*.json``
+via :func:`benchmarks.common.merge_results` prints the pass/fail delta
+table against the previous generation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+#: Name-fragment -> preferred direction, checked in order (first match
+#: wins: "events_per_second" must classify as higher-better before the
+#: "seconds" rule would claim it).
+DIRECTION_RULES: tuple[tuple[str, str], ...] = (
+    ("per_second", "higher"),
+    ("per_s", "higher"),
+    ("throughput", "higher"),
+    ("speedup", "higher"),
+    ("efficiency", "higher"),
+    ("flops", "higher"),
+    ("hit", "higher"),
+    ("paper_fraction", "higher"),
+    ("latency", "lower"),
+    ("seconds", "lower"),
+    ("wall", "lower"),
+    ("_ms", "lower"),
+    ("error", "lower"),
+    ("miss", "lower"),
+    ("wait", "lower"),
+    ("probes", "lower"),
+    ("corrupt", "lower"),
+)
+
+#: Leaf-name fragments that are identifiers, not measurements (never
+#: compared for regression, excluded from the table).
+IGNORED_FRAGMENTS = ("schema", "version", "nodes", "ranks", "jobs", "cpus",
+                     "num_cpis", "calls", "count", "bounds", "label")
+
+
+def direction_of(path: str) -> Optional[str]:
+    """``"higher"``/``"lower"``-is-better for a metric path, None if unknown.
+
+    Matched against the whole dotted path (not just the leaf) so metrics
+    snapshots — where the telling name sits in the series key and the
+    leaf is ``value``/``sum`` — classify like flat benchmark documents.
+    """
+    lowered = path.lower()
+    for fragment, direction in DIRECTION_RULES:
+        if fragment in lowered:
+            return direction
+    return None
+
+
+def _is_ignored(path: str) -> bool:
+    leaf = path.rsplit(".", 1)[-1].lower()
+    return any(fragment in leaf for fragment in IGNORED_FRAGMENTS)
+
+
+def flatten(doc, prefix: str = "") -> dict[str, float]:
+    """Dotted-path -> numeric leaf map of an arbitrary JSON document.
+
+    Bools and non-numeric leaves are skipped; list elements are indexed
+    (``runs.0.wall_seconds``).  Metrics snapshots need no special casing —
+    their counter/gauge ``value`` and histogram ``sum`` leaves flatten
+    like any other document.
+    """
+    flat: dict[str, float] = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            flat.update(flatten(value, f"{prefix}{key}."))
+    elif isinstance(doc, (list, tuple)):
+        for index, value in enumerate(doc):
+            flat.update(flatten(value, f"{prefix}{index}."))
+    elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        value = float(doc)
+        if math.isfinite(value):
+            flat[prefix[:-1]] = value
+    return flat
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared leaf."""
+
+    path: str
+    before: float
+    after: float
+    #: "higher" / "lower" is better, or None (informational).
+    direction: Optional[str]
+    #: Signed fractional change relative to ``before`` (inf when before=0).
+    change: float
+    #: Change beyond tolerance in the *bad* direction.
+    regressed: bool
+
+    @property
+    def improved(self) -> bool:
+        if self.direction is None or self.change == 0.0:
+            return False
+        return (self.change > 0) == (self.direction == "higher")
+
+    def row(self) -> str:
+        pct = (
+            f"{self.change * 100:+9.1f}%" if math.isfinite(self.change)
+            else "      new"
+        )
+        if self.regressed:
+            status = "FAIL"
+        elif self.direction is None:
+            status = "  --"
+        else:
+            status = "  ok"
+        return (
+            f"{status}  {self.path:<52.52} {self.before:>12.5g} "
+            f"{self.after:>12.5g} {pct}"
+        )
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of one baseline/current comparison."""
+
+    deltas: list[MetricDelta]
+    tolerance: float
+    #: Paths present in only one document (informational).
+    only_baseline: list[str]
+    only_current: list[str]
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        n = len(self.regressions)
+        if not n:
+            return (
+                f"ok: {len(self.deltas)} metrics within "
+                f"{self.tolerance * 100:.0f}% tolerance"
+            )
+        worst = max(
+            self.regressions,
+            key=lambda d: abs(d.change) if math.isfinite(d.change) else 0.0,
+        )
+        return (
+            f"REGRESSION: {n} of {len(self.deltas)} metrics beyond "
+            f"{self.tolerance * 100:.0f}% tolerance "
+            f"(worst: {worst.path} {worst.change * 100:+.1f}%)"
+        )
+
+    def table(self, only_changed: bool = True) -> str:
+        """Printable delta table; regressions first, then largest movers."""
+        rows = [d for d in self.deltas
+                if not only_changed or d.change != 0.0 or d.regressed]
+        rows.sort(key=lambda d: (
+            not d.regressed,
+            -(abs(d.change) if math.isfinite(d.change) else float("inf")),
+        ))
+        lines = [
+            f"{'':>4}  {'metric':<52} {'baseline':>12} {'current':>12} "
+            f"{'change':>10}",
+        ]
+        lines += [d.row() for d in rows]
+        if not rows:
+            lines.append("  (no changed metrics)")
+        if self.only_current:
+            lines.append(f"  +{len(self.only_current)} new metric(s)")
+        if self.only_baseline:
+            lines.append(f"  -{len(self.only_baseline)} removed metric(s)")
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+
+def compare(baseline, current, tolerance: float = 0.10) -> RegressionReport:
+    """Compare two JSON documents (dicts) leaf by leaf.
+
+    A leaf regresses when its relative change exceeds ``tolerance`` in
+    the direction its name marks as bad; unknown-direction and identifier
+    leaves are reported but can never fail the gate.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    base_flat = flatten(baseline)
+    curr_flat = flatten(current)
+    deltas = []
+    for path in sorted(set(base_flat) & set(curr_flat)):
+        if _is_ignored(path):
+            continue
+        before, after = base_flat[path], curr_flat[path]
+        if before == 0.0:
+            change = 0.0 if after == 0.0 else math.copysign(math.inf, after)
+        else:
+            change = (after - before) / abs(before)
+        direction = direction_of(path)
+        if direction is None or not math.isfinite(change):
+            regressed = False
+        elif direction == "higher":
+            regressed = change < -tolerance
+        else:
+            regressed = change > tolerance
+        deltas.append(MetricDelta(
+            path=path, before=before, after=after,
+            direction=direction, change=change, regressed=regressed,
+        ))
+    return RegressionReport(
+        deltas=deltas,
+        tolerance=tolerance,
+        only_baseline=sorted(set(base_flat) - set(curr_flat)),
+        only_current=sorted(set(curr_flat) - set(base_flat)),
+    )
+
+
+def compare_files(baseline_path, current_path,
+                  tolerance: float = 0.10) -> RegressionReport:
+    """File-path convenience wrapper around :func:`compare`."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    current = json.loads(Path(current_path).read_text())
+    return compare(baseline, current, tolerance=tolerance)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="Diff two benchmark/metrics JSON files; fail on "
+                    "regressions beyond a tolerance.",
+    )
+    parser.add_argument("baseline", help="baseline JSON file")
+    parser.add_argument("current", help="current JSON file")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional drift in the bad direction "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--all", action="store_true",
+                        help="list unchanged metrics too")
+    args = parser.parse_args(argv)
+    try:
+        report = compare_files(args.baseline, args.current,
+                               tolerance=args.tolerance)
+    except (OSError, ValueError) as exc:
+        print(f"regress: {exc}", file=sys.stderr)
+        return 2
+    print(report.table(only_changed=not args.all))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+import threading
+from dataclasses import dataclass, field, fields
 from typing import Optional
 
 
@@ -10,12 +11,18 @@ from typing import Optional
 class ExecCounters:
     """Process-wide counters for the batch executor and result cache.
 
-    Plain integer increments, always on (like the simulator's own
+    Plain integer counters, always on (like the simulator's own
     counters); :mod:`repro.exec` maintains them as work flows through the
     executor and cache so tests and reports can verify, for example, that
     a repeated sweep performed *zero* new simulations.  Parallel workers
     report through their outcomes, so the parent's counters stay coherent
     regardless of ``jobs``.
+
+    Mutation goes through :meth:`inc`, which serializes under a lock:
+    the executor's ``note()`` runs from completion callbacks, and those
+    may fire on helper threads, where a bare ``+=`` read-modify-write can
+    drop increments.  Reads stay plain attribute access (a torn read of
+    an int is impossible under CPython).
     """
 
     #: Points handed to :func:`repro.exec.run_points` (cached or not).
@@ -24,6 +31,8 @@ class ExecCounters:
     simulations_run: int = 0
     #: Points whose simulation raised (captured, not propagated).
     point_errors: int = 0
+    #: Progress callbacks that raised (contained, not propagated).
+    progress_errors: int = 0
     #: Result-cache hits served from the in-process LRU layer.
     cache_hits_memory: int = 0
     #: Result-cache hits served from the on-disk store.
@@ -32,12 +41,25 @@ class ExecCounters:
     cache_misses: int = 0
     #: Results written into the cache.
     cache_stores: int = 0
+    #: On-disk entries that existed but failed to load (treated as misses).
+    cache_corrupt: int = 0
     #: ``run_measured`` probe phases answered from the result cache.
     probe_cache_hits: int = 0
 
+    def __post_init__(self):
+        # Not a dataclass field: locks must stay out of snapshots/compares.
+        self._lock = threading.Lock()
+        self._names = tuple(f.name for f in fields(self))
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Thread-safely add ``amount`` to the named counter."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
     def snapshot(self) -> dict:
         """Copy of the current values (for before/after deltas)."""
-        return asdict(self)
+        with self._lock:
+            return {name: getattr(self, name) for name in self._names}
 
     def delta_since(self, before: dict) -> dict:
         """Per-counter increase since a :meth:`snapshot`."""
@@ -45,8 +67,9 @@ class ExecCounters:
         return {key: now[key] - before.get(key, 0) for key in now}
 
     def reset(self) -> None:
-        for key in self.snapshot():
-            setattr(self, key, 0)
+        with self._lock:
+            for name in self._names:
+                setattr(self, name, 0)
 
 
 #: The module singleton the executor and cache increment.
@@ -72,6 +95,8 @@ def snapshot_counters(sim, world=None) -> dict:
         "match_probes": 0,
         "sends_posted": 0,
         "recvs_posted": 0,
+        "wildcard_recvs": 0,
+        "wildcard_hits": 0,
         "network_messages": 0,
         "network_bytes": 0,
         "backend": getattr(sim, "backend", "python"),
@@ -83,6 +108,8 @@ def snapshot_counters(sim, world=None) -> dict:
             match_probes=world.match_probes,
             sends_posted=world.sends_posted,
             recvs_posted=world.recvs_posted,
+            wildcard_recvs=world.wildcard_recvs,
+            wildcard_hits=world.wildcard_hits,
             network_messages=world.network.messages_sent,
             network_bytes=world.network.bytes_sent,
             backend=getattr(world, "backend", counters["backend"]),
@@ -109,6 +136,8 @@ class PerfReport:
     match_probes: int = 0
     sends_posted: int = 0
     recvs_posted: int = 0
+    wildcard_recvs: int = 0
+    wildcard_hits: int = 0
     network_messages: int = 0
     network_bytes: int = 0
     #: Which simulator core ran (``python`` / ``lowered`` / ``compiled``).
@@ -168,6 +197,26 @@ class PerfReport:
             **delta,
         )
 
+    #: ``to_dict`` keys computed from other fields; ``from_dict`` drops
+    #: them rather than storing stale copies.
+    _DERIVED_KEYS = ("events_per_second", "probes_per_message", "wall_seconds_per_cpi")
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "PerfReport":
+        """Rebuild a report from :meth:`to_dict` output (round-trip safe).
+
+        Derived rates are recomputed, not read back; keys that are not
+        report fields land in ``extras`` so foreign annotations survive
+        the round trip (``from_dict(r.to_dict()).to_dict() == r.to_dict()``
+        holds whenever extras don't shadow field names).
+        """
+        doc = dict(doc)
+        for key in cls._DERIVED_KEYS:
+            doc.pop(key, None)
+        known = {f.name for f in fields(cls)} - {"extras"}
+        kwargs = {key: doc.pop(key) for key in list(doc) if key in known}
+        return cls(extras=doc, **kwargs)
+
     # -- output -----------------------------------------------------------------
     def counters_dict(self) -> dict:
         """Raw registered counters only (no derived rates, no label).
@@ -182,6 +231,8 @@ class PerfReport:
             "match_probes": self.match_probes,
             "sends_posted": self.sends_posted,
             "recvs_posted": self.recvs_posted,
+            "wildcard_recvs": self.wildcard_recvs,
+            "wildcard_hits": self.wildcard_hits,
             "network_messages": self.network_messages,
             "network_bytes": self.network_bytes,
         }
@@ -197,6 +248,8 @@ class PerfReport:
             "match_probes": self.match_probes,
             "sends_posted": self.sends_posted,
             "recvs_posted": self.recvs_posted,
+            "wildcard_recvs": self.wildcard_recvs,
+            "wildcard_hits": self.wildcard_hits,
             "network_messages": self.network_messages,
             "network_bytes": self.network_bytes,
             "backend": self.backend,

@@ -98,6 +98,62 @@ class TestProgressAndCounters:
         assert delta["cache_misses"] == 0
 
 
+class TestProgressEdgeCases:
+    def test_raising_callback_is_contained(self):
+        """A flaky progress consumer must not kill the batch."""
+        calls = []
+
+        def bad_progress(done, total, outcome):
+            calls.append(done)
+            raise RuntimeError("dashboard exploded")
+
+        before = exec_counters.snapshot()
+        outcomes = run_points(
+            [tiny_point(num_cpis=5), tiny_point(num_cpis=6)],
+            jobs=1, cache=None, progress=bad_progress,
+        )
+        delta = exec_counters.delta_since(before)
+        assert all(o.ok for o in outcomes)
+        assert calls == [1, 2]  # still called for every point
+        assert delta["progress_errors"] == 2
+        assert delta["point_errors"] == 0
+
+    def test_all_cached_batch_spawns_no_pool(self, monkeypatch):
+        """A fully cached batch must resolve without a worker pool."""
+        from repro.exec import executor as executor_module
+
+        cache = ResultCache()
+        points = [tiny_point(num_cpis=c) for c in (5, 6, 7)]
+        run_points(points, jobs=1, cache=cache)
+
+        def no_pool(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor spawned for cached batch")
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", no_pool)
+        seen = []
+        outcomes = run_points(
+            points, jobs=4, cache=cache,
+            progress=lambda done, total, o: seen.append((done, total)),
+        )
+        assert all(o.cached for o in outcomes)
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_error_outcomes_still_advance_progress(self, jobs):
+        """Failed points count toward completed/total like any other."""
+        seen = []
+        outcomes = run_points(
+            [impossible_point(), tiny_point()],
+            jobs=jobs, cache=None,
+            progress=lambda done, total, o: seen.append(
+                (done, total, o.error is not None)
+            ),
+        )
+        assert [s[:2] for s in sorted(seen)] == [(1, 2), (2, 2)]
+        assert sum(1 for s in seen if s[2]) == 1  # exactly the failed point
+        assert not outcomes[0].ok and outcomes[1].ok
+
+
 class TestParallelIdentity:
     def test_parallel_results_byte_equal_to_serial(self):
         points = [tiny_point(num_cpis=c, cfar=f)

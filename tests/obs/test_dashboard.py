@@ -1,0 +1,191 @@
+"""The live sweep dashboard: math, rendering, containment."""
+
+from __future__ import annotations
+
+import io
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs.dashboard import SweepDashboard, _fmt_seconds, _trim, sparkline
+
+pytestmark = [pytest.mark.obs, pytest.mark.metrics]
+
+
+def outcome(cached=False, error=None, elapsed=0.0, comp=None):
+    """Minimal stand-in for a PointOutcome."""
+    result = None
+    if comp is not None:
+        result = SimpleNamespace(
+            metrics=SimpleNamespace(
+                tasks={task: SimpleNamespace(comp=seconds)
+                       for task, seconds in comp.items()}
+            )
+        )
+    return SimpleNamespace(
+        cached=cached, error=error, elapsed=elapsed, result=result
+    )
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_dash(**kwargs):
+    clock = FakeClock()
+    stream = io.StringIO()
+    dash = SweepDashboard(stream=stream, min_interval=0.0, clock=clock,
+                          **kwargs)
+    return dash, clock, stream
+
+
+class TestHelpers:
+    def test_sparkline_scales_to_peak(self):
+        line = sparkline([0, 1, 4, 8])
+        assert len(line) == 4
+        assert line[0] == " "      # empty bucket stays blank
+        assert line[-1] == "█"     # peak bucket gets the tallest glyph
+        assert sparkline([]) == ""
+        assert sparkline([0, 0]) == ""
+
+    def test_trim_drops_empty_edges(self):
+        counts, bounds = _trim([0, 0, 3, 1, 0], (1, 2, 3, 4))
+        assert counts == [3, 1]
+        assert bounds == [3, 4]
+        assert _trim([0, 0], (1,)) == ([], [])
+        # A count in the overflow bucket keeps the +inf bound.
+        counts, bounds = _trim([0, 2], (1,))
+        assert counts == [2] and bounds == [float("inf")]
+
+    def test_fmt_seconds(self):
+        assert _fmt_seconds(5.0) == "5.0s"
+        assert _fmt_seconds(90.0) == "1.5m"
+        assert _fmt_seconds(7200.0) == "2.0h"
+        assert _fmt_seconds(float("nan")) == "?"
+        assert _fmt_seconds(float("inf")) == "?"
+
+
+class TestAccounting:
+    def test_counts_cached_errors_and_sim_time(self):
+        dash, clock, _ = make_dash()
+        dash(1, 4, outcome(cached=True))
+        dash(2, 4, outcome(error="boom"))
+        dash(3, 4, outcome(elapsed=2.5))
+        assert dash.completed == 3 and dash.total == 4
+        assert dash.cached == 1
+        assert dash.errors == 1
+        assert dash.sim_seconds == pytest.approx(2.5)
+        assert dash.cache_hit_rate == pytest.approx(1 / 3)
+
+    def test_rate_and_eta_from_injected_clock(self):
+        dash, clock, _ = make_dash()
+        dash(1, 10, outcome())       # starts the clock
+        clock.now += 2.0
+        dash(4, 10, outcome())
+        assert dash.elapsed == pytest.approx(2.0)
+        assert dash.points_per_second == pytest.approx(2.0)
+        assert dash.eta_seconds == pytest.approx(3.0)
+
+    def test_rate_is_nan_before_time_passes(self):
+        dash, clock, _ = make_dash()
+        dash(1, 2, outcome())
+        assert dash.points_per_second != dash.points_per_second  # NaN
+        assert "?" in dash.status_line()
+
+    def test_stage_histograms_aggregate_over_points(self):
+        dash, clock, _ = make_dash()
+        dash(1, 2, outcome(comp={"doppler": 0.17, "cfar": 0.03}))
+        dash(2, 2, outcome(comp={"doppler": 0.18, "cfar": 0.04}))
+        snap = dash._stage_registry.snapshot()
+        hist = snap.histogram("stage_comp_seconds", {"task": "doppler"})
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(0.35)
+
+    def test_outcomes_without_metrics_are_fine(self):
+        dash, clock, _ = make_dash()
+        dash(1, 1, outcome())  # result=None: cache hits on traced sweeps etc.
+        assert dash._stage_registry.snapshot().series() == []
+
+
+class TestRendering:
+    def test_status_line_contents(self):
+        dash, clock, _ = make_dash(label="sweep:test")
+        dash(1, 4, outcome(cached=True))
+        clock.now += 1.0
+        dash(2, 4, outcome())
+        line = dash.status_line()
+        assert line.startswith("sweep:test [##########----------]")
+        assert "2/4" in line and "50%" in line
+        assert "2.0 pts/s" in line
+        assert "hits  50%" in line
+        assert "err 0" in line
+        assert "ETA 1.0s" in line
+
+    def test_non_tty_stream_gets_plain_lines(self):
+        dash, clock, stream = make_dash()
+        dash(1, 2, outcome())
+        dash(2, 2, outcome())
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "\r" not in stream.getvalue()
+
+    def test_rate_limit_skips_intermediate_renders(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        dash = SweepDashboard(stream=stream, min_interval=10.0, clock=clock)
+        dash(1, 3, outcome())   # first render (last_render = -inf)
+        dash(2, 3, outcome())   # suppressed: within min_interval
+        dash(3, 3, outcome())   # final point always renders
+        assert len(stream.getvalue().splitlines()) == 2
+
+    def test_broken_stream_is_swallowed(self):
+        class Broken(io.StringIO):
+            def write(self, *_):
+                raise OSError("terminal went away")
+
+        clock = FakeClock()
+        dash = SweepDashboard(stream=Broken(), min_interval=0.0, clock=clock)
+        dash(1, 1, outcome())  # must not raise
+        assert dash.completed == 1
+
+    def test_tty_stream_redraws_in_place(self):
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        clock = FakeClock()
+        stream = Tty()
+        dash = SweepDashboard(stream=stream, min_interval=0.0, clock=clock)
+        dash(1, 2, outcome())
+        dash(2, 2, outcome())
+        text = stream.getvalue()
+        assert text.count("\r") == 2
+        assert text.endswith("\n")  # newline only once finished
+
+
+class TestSummary:
+    def test_summary_block(self):
+        dash, clock, _ = make_dash(label="demo")
+        dash(1, 3, outcome(cached=True))
+        clock.now += 2.0
+        dash(2, 3, outcome(elapsed=1.5, comp={"doppler": 0.17}))
+        clock.now += 2.0
+        dash(3, 3, outcome(error="x"))
+        text = dash.summary()
+        assert "--- demo dashboard" in text
+        assert "points      3/3  (1 cached, 1 errors)" in text
+        assert "4.0s" in text and "0.75 pts/s" in text
+        assert "1.5 s simulating" in text
+        assert "doppler" in text
+        assert "ms mean" in text
+
+    def test_summary_without_stage_data(self):
+        dash, clock, _ = make_dash()
+        dash(1, 1, outcome())
+        text = dash.summary()
+        assert "points      1/1" in text
+        assert "stage comp seconds" not in text

@@ -1,0 +1,192 @@
+"""The regression gate: direction inference, tolerance, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.regress import (
+    compare,
+    compare_files,
+    direction_of,
+    flatten,
+    main,
+)
+
+pytestmark = [pytest.mark.obs, pytest.mark.metrics]
+
+BASELINE = {
+    "case3": {
+        "events_per_second": 100_000.0,
+        "wall_seconds": 2.0,
+        "makespan": 0.4831,
+        "nodes": 59,
+    },
+}
+
+
+def scaled(doc, key, factor):
+    out = json.loads(json.dumps(doc))
+    out["case3"][key] = out["case3"][key] * factor
+    return out
+
+
+class TestDirection:
+    def test_rule_order_resolves_composite_names(self):
+        # "events_per_second" contains "seconds" too; per_second wins.
+        assert direction_of("case3.events_per_second") == "higher"
+        assert direction_of("case3.wall_seconds") == "lower"
+        assert direction_of("sweep.cache_hit_rate") == "higher"
+        assert direction_of("net_link_wait_seconds_total.value") == "lower"
+
+    def test_unknown_names_are_informational(self):
+        assert direction_of("case3.makespan") is None
+
+    def test_series_key_carries_the_direction(self):
+        # Metrics snapshots put the telling name in the series, leaf is
+        # "value" — full-path matching still classifies it.
+        assert direction_of(
+            'counters.pipeline_throughput_total{case="1"}.value'
+        ) == "higher"
+
+
+class TestFlatten:
+    def test_nested_and_indexed_paths(self):
+        flat = flatten({"a": {"b": 1, "runs": [{"wall": 2.5}]}, "ok": True})
+        assert flat == {"a.b": 1.0, "a.runs.0.wall": 2.5}
+
+    def test_non_finite_leaves_skipped(self):
+        assert flatten({"x": float("nan"), "y": float("inf"), "z": 3}) == {
+            "z": 3.0
+        }
+
+
+class TestCompare:
+    def test_identical_inputs_pass(self):
+        report = compare(BASELINE, BASELINE, tolerance=0.10)
+        assert report.ok
+        assert not report.regressions
+        assert "ok:" in report.summary()
+
+    def test_injected_throughput_regression_flagged(self):
+        """Acceptance: a 20% throughput drop fails a 10% gate."""
+        report = compare(BASELINE, scaled(BASELINE, "events_per_second", 0.8),
+                         tolerance=0.10)
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.path == "case3.events_per_second"
+        assert delta.change == pytest.approx(-0.20)
+        assert "REGRESSION" in report.summary()
+        assert "FAIL" in report.table()
+
+    def test_throughput_gain_is_improvement_not_regression(self):
+        report = compare(BASELINE, scaled(BASELINE, "events_per_second", 1.2))
+        assert report.ok
+        delta = next(d for d in report.deltas
+                     if d.path == "case3.events_per_second")
+        assert delta.improved
+
+    def test_lower_is_better_direction(self):
+        slower = compare(BASELINE, scaled(BASELINE, "wall_seconds", 1.25))
+        assert [d.path for d in slower.regressions] == ["case3.wall_seconds"]
+        faster = compare(BASELINE, scaled(BASELINE, "wall_seconds", 0.5))
+        assert faster.ok
+
+    def test_within_tolerance_passes(self):
+        report = compare(BASELINE, scaled(BASELINE, "events_per_second", 0.95),
+                         tolerance=0.10)
+        assert report.ok
+
+    def test_unknown_direction_never_fails(self):
+        report = compare(BASELINE, scaled(BASELINE, "makespan", 10.0))
+        assert report.ok
+        delta = next(d for d in report.deltas if d.path == "case3.makespan")
+        assert delta.direction is None and not delta.regressed
+        assert "  --" in delta.row()
+
+    def test_identifier_leaves_excluded(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["case3"]["nodes"] = 118  # identifier, not a measurement
+        report = compare(BASELINE, current)
+        assert report.ok
+        assert all(d.path != "case3.nodes" for d in report.deltas)
+
+    def test_zero_baseline_is_informational(self):
+        report = compare({"errors_total": 0.0}, {"errors_total": 5.0})
+        assert report.ok  # inf change can't be judged against a tolerance
+        (delta,) = report.deltas
+        assert math.isinf(delta.change) and not delta.regressed
+        assert "new" in delta.row()
+
+    def test_added_and_removed_paths_reported(self):
+        report = compare({"a": 1.0, "b": 2.0}, {"a": 1.0, "c": 3.0})
+        assert report.only_baseline == ["b"]
+        assert report.only_current == ["c"]
+        assert "+1 new metric(s)" in report.table()
+        assert "-1 removed metric(s)" in report.table()
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare(BASELINE, BASELINE, tolerance=-0.1)
+
+    def test_gates_a_metrics_snapshot(self):
+        """The same gate works on MetricsSnapshot.to_dict() documents."""
+        from repro.obs.metrics import MetricsRegistry
+
+        def snap(rate):
+            reg = MetricsRegistry()
+            reg.enable()
+            reg.counter("sim_events_per_second_total").inc(rate)
+            reg.gauge("des_heap_depth_peak").set(40.0)
+            return reg.snapshot().to_dict()
+
+        report = compare(snap(1000.0), snap(700.0), tolerance=0.10)
+        assert len(report.regressions) == 1
+        assert "sim_events_per_second_total" in report.regressions[0].path
+
+
+class TestCli:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_exit_zero_on_identical(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        assert main([base, base]) == 0
+        out = capsys.readouterr().out
+        assert "ok:" in out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        curr = self._write(tmp_path, "curr.json",
+                           scaled(BASELINE, "events_per_second", 0.8))
+        assert main([base, curr, "--tolerance", "0.10"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "REGRESSION" in out
+
+    def test_exit_two_on_bad_input(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        base = self._write(tmp_path, "base.json", BASELINE)
+        assert main([missing, base]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main([base, str(bad)]) == 2
+        assert "regress:" in capsys.readouterr().err
+
+    def test_all_flag_lists_unchanged(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        main([base, base, "--all"])
+        out = capsys.readouterr().out
+        assert "events_per_second" in out
+        main([base, base])
+        assert "(no changed metrics)" in capsys.readouterr().out
+
+    def test_compare_files_round_trip(self, tmp_path):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        curr = self._write(tmp_path, "curr.json",
+                           scaled(BASELINE, "wall_seconds", 2.0))
+        report = compare_files(base, curr, tolerance=0.10)
+        assert [d.path for d in report.regressions] == ["case3.wall_seconds"]

@@ -60,6 +60,8 @@ class TestCounters:
             "match_probes",
             "sends_posted",
             "recvs_posted",
+            "wildcard_recvs",
+            "wildcard_hits",
             "network_messages",
             "network_bytes",
             "backend",
@@ -157,6 +159,8 @@ class TestPerfReport:
             "match_probes",
             "sends_posted",
             "recvs_posted",
+            "wildcard_recvs",
+            "wildcard_hits",
             "network_messages",
             "network_bytes",
         }
@@ -174,6 +178,73 @@ class TestPerfReport:
         text = report.summary()
         assert "p2p ops posted" in text
         assert "network messages" in text
+
+    def test_from_dict_round_trips_to_dict(self):
+        report = PerfReport(
+            wall_seconds=1.5, sim_seconds=3.0, num_cpis=5,
+            events_processed=1234, match_probes=40, sends_posted=20,
+            recvs_posted=20, wildcard_recvs=2, wildcard_hits=1,
+            network_messages=20, network_bytes=4096, backend="lowered",
+            plan_build_seconds=0.01, label="rt",
+            extras={"annotation": 7.0},
+        )
+        data = report.to_dict()
+        rebuilt = PerfReport.from_dict(data)
+        assert rebuilt.to_dict() == data
+        assert rebuilt.label == "rt"
+        assert rebuilt.backend == "lowered"
+        assert rebuilt.extras == {"annotation": 7.0}
+        # Derived rates are recomputed, never stored stale.
+        assert rebuilt.events_per_second == report.events_per_second
+
+    def test_from_dict_keeps_unknown_keys_as_extras(self):
+        report = PerfReport(
+            wall_seconds=1.0, sim_seconds=2.0, num_cpis=5, events_processed=10
+        )
+        data = report.to_dict()
+        data["case"] = "case3"
+        data["nodes"] = 59
+        rebuilt = PerfReport.from_dict(data)
+        assert rebuilt.extras == {"case": "case3", "nodes": 59}
+        assert rebuilt.to_dict() == data
+
+
+class TestExecCounters:
+    def test_inc_is_thread_safe(self):
+        """Concurrent inc() calls must not drop increments."""
+        import threading
+
+        from repro.perf.counters import ExecCounters
+
+        counters = ExecCounters()
+        per_thread, num_threads = 2000, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                counters.inc("points_submitted")
+
+        threads = [threading.Thread(target=hammer) for _ in range(num_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counters.points_submitted == per_thread * num_threads
+
+    def test_snapshot_reset_and_delta(self):
+        from repro.perf.counters import ExecCounters
+
+        counters = ExecCounters()
+        counters.inc("cache_corrupt", 3)
+        counters.inc("progress_errors")
+        snap = counters.snapshot()
+        assert snap["cache_corrupt"] == 3
+        assert snap["progress_errors"] == 1
+        # The lock is an implementation detail, not a counter.
+        assert "_lock" not in snap and "_names" not in snap
+        counters.inc("cache_corrupt", 2)
+        assert counters.delta_since(snap)["cache_corrupt"] == 2
+        counters.reset()
+        assert all(v == 0 for v in counters.snapshot().values())
 
 
 class TestPipelineWiring:
