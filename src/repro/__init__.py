@@ -26,7 +26,8 @@ Subpackages: :mod:`repro.des` (discrete-event engine), :mod:`repro.machine`
 (Paragon model), :mod:`repro.mpi` (simulated MPI), :mod:`repro.radar`
 (synthetic CPI data), :mod:`repro.stap` (signal processing),
 :mod:`repro.core` (the parallel pipeline), :mod:`repro.scheduling`
-(processor-assignment optimization).
+(processor-assignment optimization), :mod:`repro.rt` (the real
+process-parallel runtime — shared-memory stage workers on actual cores).
 """
 
 from repro.version import __version__
@@ -38,6 +39,7 @@ from repro.errors import (
     MachineError,
     ConfigurationError,
     AssignmentError,
+    PipelineError,
 )
 from repro.radar import (
     STAPParams,
@@ -64,6 +66,7 @@ from repro.core import (
     ReplicatedSTAPPipeline,
     RoundRobinSTAP,
 )
+from repro.rt import ParallelSTAP, RtResult, StagePlan
 
 __all__ = [
     "__version__",
@@ -97,4 +100,8 @@ __all__ = [
     "PipelineResult",
     "ReplicatedSTAPPipeline",
     "RoundRobinSTAP",
+    "PipelineError",
+    "ParallelSTAP",
+    "RtResult",
+    "StagePlan",
 ]

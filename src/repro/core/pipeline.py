@@ -174,12 +174,23 @@ class STAPPipeline:
         # Fail fast if any rank's working set exceeds node memory (64 MiB
         # on the Paragon).
         self.layout.validate_memory(self.machine.node.memory_bytes)
-        self.steering = default_steering(params) if steering is None else steering
         #: Per-run kernel constants, computed once and shared by every
         #: functional task (and only built when the numerics actually run).
-        self.kernel_plan = (
-            KernelPlan.build(params, self.steering) if self.functional else None
-        )
+        #: Default-steering plans are memoized across pipelines (pure
+        #: functions of the frozen params — see repro.stap.plan.default_plan).
+        if not self.functional:
+            self.steering = (
+                default_steering(params) if steering is None else steering
+            )
+            self.kernel_plan = None
+        elif steering is None:
+            from repro.stap.plan import default_plan
+
+            self.kernel_plan = default_plan(params)
+            self.steering = self.kernel_plan.steering
+        else:
+            self.steering = steering
+            self.kernel_plan = KernelPlan.build(params, self.steering)
         self._cube_cache: Dict[int, object] = {}
 
     # -- functional data source ---------------------------------------------------
@@ -415,6 +426,40 @@ class STAPPipeline:
         # probe's (peak) throughput with the paced latency.
         result.metrics.measured_throughput = throughput
         return result
+
+    # -- real execution ----------------------------------------------------------
+    def run_parallel(self, workers: Optional[int] = None, depth: int = 2,
+                     plan=None, timeout: Optional[float] = None):
+        """Execute this functional configuration for real on local cores.
+
+        Where :meth:`run` *simulates* the paper's parallel pipeline, this
+        runs it: one OS process per stage replica, shared-memory double
+        buffers between stages (see :mod:`repro.rt`).  The stage
+        replication is scaled from this pipeline's processor assignment
+        onto ``workers`` processes (``plan`` overrides).  Detections are
+        bit-identical to the sequential reference and to this pipeline's
+        own functional reports.
+
+        Returns a :class:`repro.rt.runtime.RtResult` (host-time
+        throughput/latency — not simulated timestamps).
+        """
+        if not self.functional:
+            raise ConfigurationError(
+                "run_parallel executes real kernels; build the pipeline "
+                "with mode='functional' (run() simulates modeled mode)")
+        from repro.rt import ParallelSTAP
+
+        return ParallelSTAP(
+            self.params,
+            self.stream,
+            num_cpis=self.num_cpis,
+            azimuth_cycle=self.azimuth_cycle,
+            assignment=self.assignment,
+            workers=workers,
+            plan=plan,
+            kernel_plan=self.kernel_plan,
+            depth=depth,
+        ).run(timeout=timeout)
 
     def _reports(self, collector: Collector) -> list[DetectionReport]:
         if not self.functional:

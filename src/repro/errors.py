@@ -65,3 +65,19 @@ class ExecutionError(ReproError):
 
 class AssignmentError(ConfigurationError):
     """Raised when a processor assignment is infeasible for the machine."""
+
+
+class PipelineError(ReproError):
+    """Raised when the process-parallel runtime (:mod:`repro.rt`) fails.
+
+    Carries the pipeline stage and replica index of the failing worker when
+    the failure is attributable to one (a crash, an unhandled exception, or
+    a protocol violation); both are ``None`` for orchestration-level
+    failures such as an unusable start method.
+    """
+
+    def __init__(self, message: str, stage: str | None = None,
+                 replica: int | None = None):
+        super().__init__(message)
+        self.stage = stage
+        self.replica = replica

@@ -236,7 +236,11 @@ class ResultCache:
         _count("exec_cache_stores_total", "results written into the cache")
         if self.directory is None:
             return
-        # Atomic publish: a reader never sees a half-written entry.
+        # Atomic publish: a reader never sees a half-written entry.  The
+        # directory (created in the constructor) may have been removed
+        # since — a sweep cleaning its results tree, a fresh nested
+        # ``--cache-dir`` — so it is (re)created here before writing.
+        self.directory.mkdir(parents=True, exist_ok=True)
         path = self._disk_path(key)
         fd, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=f".{key[:12]}-", suffix=".tmp"

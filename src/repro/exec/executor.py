@@ -76,6 +76,29 @@ class PointOutcome:
         return self.result
 
 
+def _warm_start(params_batch: Sequence) -> None:
+    """Pool initializer: pay per-process import and plan costs up front.
+
+    A cold pool worker spends its first point importing numpy/scipy and
+    building the kernel plan before any simulation runs; with many small
+    points that startup tax dominates.  Warming at pool creation moves it
+    off the measured path (``benchmarks/bench_simspeed.py`` records the
+    delta).  Only default-steering plans are content-addressable by
+    params, which is exactly what :func:`repro.stap.plan.default_plan`
+    caches — points with explicit steering simply skip the warm plan.
+    """
+    import numpy  # noqa: F401  (resident for every kernel call)
+    import scipy.linalg  # noqa: F401  (the LSQ solver's import)
+
+    from repro.stap.plan import default_plan
+
+    for params in params_batch:
+        try:
+            default_plan(params)
+        except Exception:  # pragma: no cover - warming must never kill a pool
+            pass
+
+
 def _run_point(index: int, point: SimPoint, collect_metrics: bool = False):
     """Worker body: never raises, so one bad point cannot kill the pool.
 
@@ -158,8 +181,11 @@ def run_points(
     pending: list[tuple[int, SimPoint, Optional[str]]] = []
     for index, point in enumerate(points):
         exec_counters.inc("points_submitted")
-        key = cache_key(point) if store is not None else None
-        if store is not None:
+        # rt points time real processes: not content-addressable, never
+        # looked up or stored.
+        key = (cache_key(point)
+               if store is not None and point.cacheable else None)
+        if key is not None:
             hit = store.get(key)
             if hit is not None:
                 note(PointOutcome(index=index, point=point, result=hit, cached=True))
@@ -199,7 +225,12 @@ def run_points(
         return outcomes  # type: ignore[return-value]
 
     workers = min(jobs, len(pending))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    warm_params = tuple({point.params for _, point, _ in pending})
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_warm_start,
+        initargs=(warm_params,),
+    ) as pool:
         futures = {
             pool.submit(_run_point, index, point, metered): index
             for index, point, _ in pending

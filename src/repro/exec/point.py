@@ -15,10 +15,11 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.assignment import Assignment
-from repro.core.metrics import PipelineMetrics
+from repro.core.metrics import PipelineMetrics, TaskMetrics
 from repro.errors import ConfigurationError
 from repro.machine import Machine
 from repro.radar.parameters import STAPParams
+from repro.radar.scenario import RadarScenario
 
 
 @dataclass(frozen=True)
@@ -28,10 +29,21 @@ class SimPoint:
     ``machine=None`` means the default AFRL Paragon, resolved inside
     :meth:`run` so the point itself stays light to pickle.  ``measured``
     selects the two-phase :meth:`~repro.core.pipeline.STAPPipeline.run_measured`
-    measurement instead of a plain run.  Only ``modeled`` mode is
-    supported: functional runs need a CPI stream, which is neither
-    picklable nor coverable by the content key.
+    measurement instead of a plain run.
+
+    Two modes run through the executor:
+
+    * ``modeled`` — the discrete-event simulator.  Deterministic and
+      content-addressable, so results go through the cache.
+    * ``rt`` — the real process-parallel runtime (:mod:`repro.rt`) on the
+      point's ``scenario`` (default: the standard evaluation scenario)
+      with ``rt_workers`` worker processes.  Wall-clock measurements are
+      machine- and load-dependent, so rt points are **never cached**
+      (:attr:`cacheable` is false).
     """
+
+    #: Modes the executor accepts.
+    MODES = ("modeled", "rt")
 
     params: STAPParams
     assignment: Assignment
@@ -51,17 +63,35 @@ class SimPoint:
     backend: Optional[str] = None
     #: Display name for progress output; defaults to the assignment's name.
     label: str = ""
+    #: Radar environment for ``rt`` points (``None`` = the standard
+    #: scenario).  Ignored by modeled points.
+    scenario: Optional[RadarScenario] = None
+    #: Worker-process budget for ``rt`` points (``None`` = one per stage).
+    rt_workers: Optional[int] = None
 
     def __post_init__(self):
-        if self.mode != "modeled":
+        if self.mode not in self.MODES:
             raise ConfigurationError(
-                f"the executor supports modeled-mode points only, got {self.mode!r}"
+                f"the executor supports modes {self.MODES}, got {self.mode!r}"
             )
         if self.backend not in (None, "auto", "python", "lowered", "compiled"):
             raise ConfigurationError(
                 f"unknown simulator backend {self.backend!r}; expected one of "
                 "('python', 'lowered', 'compiled', 'auto')"
             )
+        if self.mode == "rt" and self.measured:
+            raise ConfigurationError(
+                "rt points are always measured for real; drop measured=True"
+            )
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether the result is a pure function of the point's content.
+
+        Modeled points are; rt points time real processes on whatever
+        machine runs them, so their results must never be replayed from
+        the cache."""
+        return self.mode == "modeled"
 
     @property
     def display_label(self) -> str:
@@ -87,10 +117,30 @@ class SimPoint:
         )
 
     def run(self) -> "PointResult":
-        """Simulate this point (no caching here; see the executor)."""
+        """Simulate (or really execute) this point; see the executor for
+        caching."""
+        if self.mode == "rt":
+            return self._run_rt()
         pipeline = self.build_pipeline()
         result = pipeline.run_measured() if self.measured else pipeline.run()
         return PointResult.from_pipeline_result(result)
+
+    def _run_rt(self) -> "PointResult":
+        from repro.radar.datacube import CPIStream
+        from repro.rt import ParallelSTAP
+
+        stream = CPIStream(
+            self.params, self.scenario, azimuth_cycle=self.azimuth_cycle
+        )
+        rt = ParallelSTAP(
+            self.params,
+            stream,
+            num_cpis=self.num_cpis,
+            azimuth_cycle=self.azimuth_cycle,
+            assignment=self.assignment,
+            workers=self.rt_workers,
+        )
+        return PointResult.from_rt_result(rt.run(), self.assignment)
 
 
 @dataclass
@@ -113,6 +163,36 @@ class PointResult:
             network_bytes=result.network_bytes,
             num_cpis=result.num_cpis,
             assignment=result.assignment,
+        )
+
+    @classmethod
+    def from_rt_result(cls, rt_result, assignment: Assignment) -> "PointResult":
+        """Wrap an :class:`repro.rt.RtResult` as a point result.
+
+        Only the *measured* fields are meaningful: the runtime times real
+        processes, so there are no modeled per-phase timings.  The task
+        table records each stage's replica count with zero phase times —
+        enough for occupancy accounting, but the equation properties
+        (which divide by task totals) are not defined for rt results.
+        """
+        tasks = {
+            stage: TaskMetrics(
+                task=stage, num_nodes=replicas, recv=0.0, comp=0.0, send=0.0
+            )
+            for stage, replicas in rt_result.plan.as_dict().items()
+        }
+        metrics = PipelineMetrics(
+            tasks=tasks,
+            measured_throughput=rt_result.steady_throughput,
+            measured_latency=rt_result.latency,
+        )
+        return cls(
+            metrics=metrics,
+            makespan=rt_result.elapsed_seconds,
+            network_messages=0,
+            network_bytes=0,
+            num_cpis=rt_result.num_cpis,
+            assignment=assignment,
         )
 
 

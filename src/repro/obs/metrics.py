@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import threading
 from bisect import bisect_left
 from contextlib import contextmanager
@@ -570,14 +571,23 @@ def to_prometheus(snapshot: MetricsSnapshot | dict) -> str:
 
 def write_snapshot(snapshot: MetricsSnapshot | dict, path,
                    format: str = "json") -> Path:
-    """Write a snapshot to ``path`` as ``json`` or ``prom`` text."""
+    """Write a snapshot to ``path`` as ``json`` or ``prom`` text.
+
+    Parent directories are created on demand (``--metrics-out`` may point
+    into a fresh results tree) and the write is atomic — rendered to a
+    sibling temp file, then renamed — so a scrape never reads a torn
+    snapshot."""
     if isinstance(snapshot, dict):
         snapshot = MetricsSnapshot.from_dict(snapshot)
     path = Path(path)
     if format == "json":
-        path.write_text(snapshot.to_json() + "\n")
+        text = snapshot.to_json() + "\n"
     elif format == "prom":
-        path.write_text(to_prometheus(snapshot))
+        text = to_prometheus(snapshot)
     else:
         raise ValueError(f"unknown metrics format {format!r} (json or prom)")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
     return path

@@ -1,0 +1,33 @@
+"""Process-parallel pipelined STAP runtime (real cores, shared memory).
+
+The simulator (:mod:`repro.des`, :mod:`repro.core`) *models* the paper's
+parallel pipeline; this package *executes* it: one worker process per
+stage replica of the seven-task decomposition, double-buffered
+shared-memory channels between stages, temporal parallelism across
+in-flight CPIs, and detections bit-identical to the sequential
+functional chain.
+
+Entry points:
+
+* :class:`ParallelSTAP` — build and run a parallel functional pipeline;
+* :class:`~repro.rt.plan.StagePlan` — map a paper processor assignment
+  onto a local worker budget;
+* :meth:`repro.core.pipeline.STAPPipeline.run_parallel` — the same thing
+  from an existing functional pipeline configuration;
+* ``repro-stap detect --rt-workers N`` — the CLI demo.
+"""
+
+from repro.errors import PipelineError
+from repro.rt.plan import EDGES, StagePlan, edge_specs
+from repro.rt.runtime import ParallelSTAP, RtResult
+from repro.rt.shm import ShmChannel
+
+__all__ = [
+    "EDGES",
+    "ParallelSTAP",
+    "PipelineError",
+    "RtResult",
+    "ShmChannel",
+    "StagePlan",
+    "edge_specs",
+]

@@ -1,0 +1,100 @@
+"""Metrics instrumentation for the process-parallel runtime.
+
+Follows the campaign-metrics conventions of :mod:`repro.obs.metrics`:
+default-off, guarded by one ``enabled`` read, fixed buckets so worker
+snapshots merge bucket-wise.  Every worker enables its own (forked)
+registry when the parent ran metered, records per-stage instruments
+while processing, and ships one frozen snapshot home inside its "done"
+message; the parent merges them so the campaign registry ends identical
+to what a single-process run would have recorded stage by stage.
+
+Series:
+
+* ``rt_queue_wait_seconds{stage=}`` — time a stage spent blocked waiting
+  for upstream data (the receive side of the paper's T_recv);
+* ``rt_backpressure_seconds{stage=}`` — time blocked waiting for a free
+  downstream slot (double-buffer credit exhausted);
+* ``rt_comp_seconds{stage=}`` — kernel time per CPI;
+* ``rt_items_total{stage=}`` — CPIs completed per stage.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.obs.metrics import MetricsRegistry, metrics_registry
+
+
+class StageMetrics:
+    """Per-worker instrument bundle for one stage (cheap when disabled)."""
+
+    def __init__(self, stage: str, registry: MetricsRegistry | None = None):
+        self.registry = metrics_registry if registry is None else registry
+        labels = {"stage": stage}
+        self._wait = self.registry.histogram(
+            "rt_queue_wait_seconds",
+            "host seconds blocked waiting for upstream data", labels=labels)
+        self._pressure = self.registry.histogram(
+            "rt_backpressure_seconds",
+            "host seconds blocked on a full downstream double buffer",
+            labels=labels)
+        self._comp = self.registry.histogram(
+            "rt_comp_seconds", "host kernel seconds per CPI", labels=labels)
+        self._items = self.registry.counter(
+            "rt_items_total", "CPIs completed by the stage", labels=labels)
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    # -- observer shims for ShmChannel.send/recv ---------------------------------
+    def timed_wait(self, blocking_call):
+        """Run a blocking receive, recording how long it waited."""
+        if not self.registry.enabled:
+            return blocking_call()
+        start = perf_counter()
+        try:
+            return blocking_call()
+        finally:
+            self._wait.observe(perf_counter() - start)
+
+    def timed_backpressure(self, blocking_call):
+        """Run a blocking credit acquire, recording how long it waited."""
+        if not self.registry.enabled:
+            return blocking_call()
+        start = perf_counter()
+        try:
+            return blocking_call()
+        finally:
+            self._pressure.observe(perf_counter() - start)
+
+    def observe_comp(self, seconds: float) -> None:
+        self._comp.observe(seconds)
+
+    def count_item(self) -> None:
+        self._items.inc()
+
+
+def record_rt_run(result, registry: MetricsRegistry | None = None) -> None:
+    """Flush one completed parallel run's headline numbers (parent side)."""
+    import math
+
+    reg = metrics_registry if registry is None else registry
+    if not reg.enabled:
+        return
+    reg.counter("rt_runs_total", "completed parallel runtime runs").inc()
+    reg.counter("rt_reports_total",
+                "detection reports produced by parallel runs").inc(
+        len(result.reports))
+    reg.gauge("rt_workers", "worker processes of the last parallel run").set(
+        result.plan.total_workers)
+    if not math.isnan(result.throughput):
+        reg.histogram(
+            "rt_throughput_cpis_per_second",
+            "end-to-end throughput per parallel run",
+            buckets=(0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128),
+        ).observe(result.throughput)
+    if not math.isnan(result.latency):
+        reg.histogram("rt_latency_seconds",
+                      "mean per-CPI input-to-report latency").observe(
+            result.latency)

@@ -24,6 +24,7 @@ all fields are read-only by convention (tasks only ever index into them).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -87,3 +88,17 @@ class KernelPlan:
 def build_kernel_plan(params: STAPParams, steering: np.ndarray) -> KernelPlan:
     """Functional spelling of :meth:`KernelPlan.build`."""
     return KernelPlan.build(params, steering)
+
+
+@lru_cache(maxsize=8)
+def default_plan(params: STAPParams) -> KernelPlan:
+    """The plan for the *default* steering matrix, memoized per params.
+
+    Default-steering plans are pure functions of ``params`` (a frozen,
+    hashable dataclass), so repeated pipeline builds — the executor's
+    warm-started workers, ``run_parallel``, back-to-back test pipelines —
+    share one construction.  Treat the result as read-only, like every
+    plan."""
+    from repro.stap.reference import default_steering
+
+    return KernelPlan.build(params, default_steering(params))

@@ -1,0 +1,79 @@
+"""Fresh nested output paths: --cache-dir and --metrics-out must just work.
+
+Pointing a sweep at a results tree that does not exist yet (or that a
+cleanup step removed mid-run) used to crash on the first write.  The cache
+and the metrics writer now create parent directories on demand and publish
+files atomically.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.obs.metrics import MetricsRegistry, write_snapshot
+
+pytestmark = pytest.mark.exec
+
+
+def fresh_snapshot():
+    registry = MetricsRegistry()
+    registry.enable(reset=True)
+    registry.counter("demo_total", "demo").inc(3)
+    return registry.snapshot()
+
+
+def test_write_snapshot_creates_nested_parents(tmp_path):
+    target = tmp_path / "results" / "2026" / "run-7" / "metrics.json"
+    path = write_snapshot(fresh_snapshot(), target)
+    assert path == target
+    data = json.loads(target.read_text())
+    assert "counters" in data
+
+
+def test_write_snapshot_prom_format_nested(tmp_path):
+    target = tmp_path / "deep" / "tree" / "metrics.prom"
+    write_snapshot(fresh_snapshot(), target, format="prom")
+    assert "demo_total 3" in target.read_text()
+
+
+def test_write_snapshot_is_atomic(tmp_path):
+    """No temp droppings next to the published file."""
+    target = tmp_path / "out" / "metrics.json"
+    write_snapshot(fresh_snapshot(), target)
+    write_snapshot(fresh_snapshot(), target)  # overwrite in place
+    assert [p.name for p in target.parent.iterdir()] == ["metrics.json"]
+
+
+def test_cache_creates_nested_directory(tmp_path):
+    nested = tmp_path / "sweeps" / "campaign" / "cache"
+    cache = ResultCache(directory=nested)
+    cache.put("k" * 64, {"answer": 42})
+    entries = list(nested.glob("*.pkl"))
+    assert len(entries) == 1
+    assert pickle.loads(entries[0].read_bytes()) == {"answer": 42}
+
+
+def test_cache_survives_directory_removal(tmp_path):
+    """A cleanup step deleting the tree mid-run must not lose writes."""
+    import shutil
+
+    nested = tmp_path / "cache"
+    cache = ResultCache(directory=nested)
+    shutil.rmtree(nested)
+    cache.put("a" * 64, {"v": 1})
+    assert nested.exists()
+    assert cache.get("a" * 64) == {"v": 1}
+
+
+def test_cli_metrics_out_into_fresh_tree(tmp_path, capsys):
+    """End to end: --metrics-out pointing into a directory that does not
+    exist yet."""
+    from repro.cli import main
+
+    target = tmp_path / "fresh" / "nested" / "metrics.json"
+    code = main(["case", "--name", "case1", "--cpis", "2",
+                 "--metrics-out", str(target)])
+    assert code == 0
+    assert target.exists()

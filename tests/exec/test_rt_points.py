@@ -1,0 +1,70 @@
+"""rt-mode SimPoints: real execution through the batch executor, uncached.
+
+An rt point times actual worker processes, so its result depends on the
+host machine and its load — replaying one from the content-addressed
+cache would report a stale measurement as fresh.  The executor must run
+rt points every time and never store them.
+"""
+
+import pytest
+
+from repro import CASE1, RadarScenario, STAPParams
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.exec.executor import run_points
+from repro.exec.point import PointResult, SimPoint
+
+pytestmark = [pytest.mark.exec, pytest.mark.rt]
+
+
+def rt_point(num_cpis=3, **kwargs):
+    return SimPoint(
+        STAPParams.tiny(),
+        CASE1,
+        num_cpis=num_cpis,
+        mode="rt",
+        scenario=RadarScenario.benign(seed=3),
+        rt_workers=7,
+        **kwargs,
+    )
+
+
+def test_rt_points_are_not_cacheable():
+    assert rt_point().cacheable is False
+    assert SimPoint(STAPParams.tiny(), CASE1, num_cpis=3).cacheable is True
+
+
+def test_rt_point_runs_for_real():
+    result = rt_point().run()
+    assert isinstance(result, PointResult)
+    assert result.num_cpis == 3
+    assert result.makespan > 0
+    assert result.metrics.measured_throughput > 0
+    # The task table carries the stage plan's replica counts.
+    assert set(result.metrics.tasks) == {
+        "doppler", "easy_weight", "hard_weight", "easy_beamform",
+        "hard_beamform", "pulse_compression", "cfar",
+    }
+
+
+def test_executor_never_caches_rt_points(tmp_path):
+    cache = ResultCache(directory=tmp_path / "cache")
+    point = rt_point()
+    first = run_points([point], jobs=1, cache=cache)
+    second = run_points([point], jobs=1, cache=cache)
+    assert first[0].ok and second[0].ok
+    assert not first[0].cached and not second[0].cached
+    assert len(cache) == 0  # nothing stored in the memory layer
+    assert not list((tmp_path / "cache").glob("*.pkl"))  # nor on disk
+    # Independent runs really measured independently.
+    assert second[0].elapsed > 0
+
+
+def test_rt_rejects_measured_flag():
+    with pytest.raises(ConfigurationError):
+        rt_point(measured=True)
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ConfigurationError):
+        SimPoint(STAPParams.tiny(), CASE1, mode="magic")

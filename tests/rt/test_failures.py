@@ -1,0 +1,149 @@
+"""Runtime failure modes: crashes, exceptions, empty streams, cleanup.
+
+A pipeline of nine shared-memory channels and seven-plus processes has
+exactly one acceptable failure behaviour: the parent raises a
+:class:`~repro.errors.PipelineError` naming the failing stage, every
+worker exits, and every shared-memory slot is unlinked.  These tests
+break the pipeline on purpose and check that contract.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import CPIStream, ParallelSTAP, PipelineError
+from tests.core.test_golden_functional import golden_scenario
+
+pytestmark = pytest.mark.rt
+
+
+def _shm_entries():
+    """Names of multiprocessing shared-memory segments currently mapped."""
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+class BrokenStream:
+    """Delegates to a real stream but raises on one chosen CPI."""
+
+    def __init__(self, inner, fail_at: int):
+        self.inner = inner
+        self.fail_at = fail_at
+        self.params = inner.params
+        self.azimuth_cycle = inner.azimuth_cycle
+
+    def cube(self, cpi_index):
+        if cpi_index == self.fail_at:
+            raise ValueError(f"synthetic front-end fault at CPI {cpi_index}")
+        return self.inner.cube(cpi_index)
+
+
+class CrashingStream(BrokenStream):
+    """Kills its worker outright: no exception, no message, no cleanup."""
+
+    def cube(self, cpi_index):
+        if cpi_index == self.fail_at:
+            os._exit(13)
+        return self.inner.cube(cpi_index)
+
+
+class StallingStream(BrokenStream):
+    """Hangs the source long enough to trip the parent's deadline."""
+
+    def cube(self, cpi_index):
+        if cpi_index == self.fail_at:
+            time.sleep(30.0)
+        return self.inner.cube(cpi_index)
+
+
+@pytest.fixture
+def tiny_golden_stream(tiny_params):
+    return CPIStream(tiny_params, golden_scenario())
+
+
+def test_worker_exception_names_the_stage(tiny_params, tiny_golden_stream):
+    """A mid-CPI exception surfaces as PipelineError with the stage, the
+    replica, and the worker's traceback."""
+    stream = BrokenStream(tiny_golden_stream, fail_at=2)
+    rt = ParallelSTAP(tiny_params, stream, num_cpis=5)
+    before = _shm_entries()
+    with pytest.raises(PipelineError) as excinfo:
+        rt.run(timeout=60.0)
+    assert excinfo.value.stage == "doppler"
+    assert excinfo.value.replica == 0
+    assert "synthetic front-end fault at CPI 2" in str(excinfo.value)
+    # Everything the run created is unlinked again.
+    assert _shm_entries() <= before
+
+
+def test_hard_crash_is_detected(tiny_params, tiny_golden_stream):
+    """A worker dying without any message (os._exit) is still diagnosed."""
+    stream = CrashingStream(tiny_golden_stream, fail_at=1)
+    rt = ParallelSTAP(tiny_params, stream, num_cpis=4)
+    before = _shm_entries()
+    with pytest.raises(PipelineError) as excinfo:
+        rt.run(timeout=60.0)
+    assert excinfo.value.stage == "doppler"
+    assert "died without reporting" in str(excinfo.value)
+    assert "13" in str(excinfo.value)  # the exit code is in the message
+    assert _shm_entries() <= before
+
+
+def test_timeout_tears_the_pipeline_down(tiny_params, tiny_golden_stream):
+    stream = StallingStream(tiny_golden_stream, fail_at=1)
+    rt = ParallelSTAP(tiny_params, stream, num_cpis=4)
+    before = _shm_entries()
+    start = time.perf_counter()
+    with pytest.raises(PipelineError) as excinfo:
+        rt.run(timeout=1.0)
+    assert "exceeded" in str(excinfo.value)
+    # Teardown must not wait out the 30 s stall.
+    assert time.perf_counter() - start < 20.0
+    assert _shm_entries() <= before
+
+
+def test_zero_cpi_stream_terminates_cleanly(tiny_params, tiny_golden_stream):
+    """Quota-based termination: an empty stream means every worker's quota
+    is empty and the run completes immediately — no poison pills needed."""
+    import math
+
+    rt = ParallelSTAP(tiny_params, tiny_golden_stream, num_cpis=0)
+    before = _shm_entries()
+    result = rt.run(timeout=60.0)
+    assert result.reports == []
+    assert result.num_cpis == 0
+    assert math.isnan(result.throughput)
+    assert _shm_entries() <= before
+
+
+def test_queues_drain_on_successful_shutdown(tiny_params, tiny_golden_stream):
+    """After a normal run nothing is left mapped: all channel slots are
+    closed and unlinked, all workers joined."""
+    import multiprocessing
+
+    rt = ParallelSTAP(tiny_params, tiny_golden_stream, num_cpis=3)
+    before = _shm_entries()
+    result = rt.run(timeout=60.0)
+    assert len(result.reports) == 3
+    assert _shm_entries() <= before
+    assert not [p for p in multiprocessing.active_children()
+                if p.name.startswith("rt-")]
+
+
+def test_invalid_configuration_rejected(tiny_params, tiny_golden_stream):
+    from repro import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        ParallelSTAP(tiny_params, tiny_golden_stream, num_cpis=-1)
+    with pytest.raises(ConfigurationError):
+        ParallelSTAP(tiny_params, tiny_golden_stream, num_cpis=2,
+                     azimuth_cycle=0)
+    with pytest.raises(ConfigurationError):
+        # Stream cycle disagrees with the runtime cycle.
+        ParallelSTAP(tiny_params, tiny_golden_stream, num_cpis=2,
+                     azimuth_cycle=3)
+    with pytest.raises(ConfigurationError):
+        ParallelSTAP(tiny_params, tiny_golden_stream, num_cpis=2, depth=0)
