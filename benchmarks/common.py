@@ -17,14 +17,43 @@ configurations share one simulation.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro import Assignment, STAPParams
-from repro.exec import PointResult, SimPoint, execute_point
+from repro.exec import USE_DEFAULT_CACHE, PointResult, SimPoint, execute_point
 
 #: CPIs per measured run, as in the paper ("A total of 25 CPI complex data
 #: cubes were generated as inputs").
 NUM_CPIS = 25
+
+#: Environment variable naming a durable campaign directory.  When set,
+#: every benchmark simulation declares into and publishes through one
+#: shared :class:`~repro.exec.campaign.CampaignStore` there, so the whole
+#: Table 2–10 benchmark suite becomes a single resumable campaign:
+#: interrupt it at any point, rerun, and completed points are served from
+#: the store (``repro-stap campaign status <dir>`` shows progress from a
+#: second terminal).  See EXPERIMENTS.md for the recipe.
+CAMPAIGN_DIR_ENV = "REPRO_CAMPAIGN_DIR"
+
+_campaign_store = None
+
+
+def bench_store():
+    """The result store benchmarks run through.
+
+    The process-default cache normally; a durable campaign store rooted
+    at ``$REPRO_CAMPAIGN_DIR`` when that is set.
+    """
+    global _campaign_store
+    directory = os.environ.get(CAMPAIGN_DIR_ENV)
+    if not directory:
+        return USE_DEFAULT_CACHE
+    if _campaign_store is None or _campaign_store.root != Path(directory):
+        from repro.exec.campaign import CampaignStore
+
+        _campaign_store = CampaignStore(directory, name="bench")
+    return _campaign_store
 
 
 def paper_params() -> STAPParams:
@@ -38,7 +67,7 @@ def _run_cached(counts: tuple[int, ...], measured: bool) -> PointResult:
         num_cpis=NUM_CPIS,
         measured=measured,
     )
-    return execute_point(point)
+    return execute_point(point, cache=bench_store())
 
 
 def run_assignment(

@@ -10,6 +10,7 @@ Subcommands map onto the paper's experiments:
 ``detect``     functional demo — detections from synthetic data
 ``timeline``   ASCII Gantt of a pipeline run
 ``sweep``      Figure 11 / scalability sweeps on the parallel executor
+``campaign``   durable, resumable sweeps over a shared on-disk store
 =============  =====================================================
 
 Also runnable as ``python -m repro.cli``.
@@ -252,6 +253,7 @@ def cmd_sweep(args) -> int:
         series = speedup_series(
             args.task, nodes, num_cpis=args.cpis, jobs=args.jobs, cache=cache,
             backend=args.backend, progress=dash,
+            campaign_dir=args.campaign_dir,
         )
         print(f"=== Figure 11 series: {args.task} "
               f"(jobs={args.jobs}, {len(series)} points) ===")
@@ -266,6 +268,7 @@ def cmd_sweep(args) -> int:
         curve = scalability_curve(
             budgets, num_cpis=args.cpis, measured=args.measured,
             jobs=args.jobs, cache=cache, backend=args.backend, progress=dash,
+            campaign_dir=args.campaign_dir,
         )
         print(f"=== scalability curve (jobs={args.jobs}, "
               f"{len(curve)} points) ===")
@@ -285,6 +288,87 @@ def cmd_sweep(args) -> int:
     if metered:
         _write_metrics(args)
     return 0
+
+
+_PARAM_PRESETS = ("paper", "small", "tiny")
+
+
+def _preset_params(name: str):
+    return getattr(STAPParams, name)()
+
+
+def _campaign_points(args):
+    """The declared point set of a ``campaign run`` invocation."""
+    from repro.experiments import scalability_points, speedup_points
+
+    params = _preset_params(args.params)
+    if args.kind == "speedup":
+        nodes = [int(n) for n in args.nodes.split(",")]
+        points, _ = speedup_points(
+            args.task, nodes, num_cpis=args.cpis, params=params,
+            backend=args.backend,
+        )
+    else:
+        budgets = [int(b) for b in args.budgets.split(",")]
+        points, _ = scalability_points(
+            budgets, num_cpis=args.cpis, params=params,
+            measured=args.measured, backend=args.backend,
+        )
+    return points
+
+
+def _campaign_execute(campaign, args) -> int:
+    """Drain (part of) a campaign's queue and report what happened."""
+    from repro.exec import raise_on_failures
+    from repro.obs import campaign_status
+    from repro.perf import exec_counters
+
+    dash = None
+    if args.dashboard:
+        from repro.obs import SweepDashboard
+
+        dash = SweepDashboard(label=f"campaign:{campaign.store.name}")
+    before = exec_counters.snapshot()
+    outcomes = campaign.run(
+        jobs=args.jobs, progress=dash, limit=args.max_points
+    )
+    delta = exec_counters.delta_since(before)
+    hits = delta["cache_hits_memory"] + delta["cache_hits_disk"]
+    print(f"campaign: {delta['points_submitted']} points processed, "
+          f"{delta['simulations_run']} simulated, {hits} from store "
+          f"({delta['cache_hits_disk']} disk), "
+          f"{delta['point_errors']} errors")
+    print()
+    print(campaign_status(args.dir))
+    raise_on_failures(outcomes)
+    return 0
+
+
+def cmd_campaign_run(args) -> int:
+    from repro.exec import Campaign, CampaignStore
+
+    store = CampaignStore(args.dir, name=args.name or f"{args.kind}")
+    campaign = Campaign(_campaign_points(args), store=store)
+    return _campaign_execute(campaign, args)
+
+
+def cmd_campaign_status(args) -> int:
+    from repro.obs import campaign_status
+
+    print(campaign_status(args.dir))
+    return 0
+
+
+def cmd_campaign_resume(args) -> int:
+    from repro.errors import ExecutionError
+    from repro.exec import load_campaign
+
+    try:
+        campaign = load_campaign(args.dir)
+    except ExecutionError as error:
+        print(error, file=sys.stderr)
+        return 2
+    return _campaign_execute(campaign, args)
 
 
 def cmd_timeline(args) -> int:
@@ -397,8 +481,70 @@ def build_parser() -> argparse.ArgumentParser:
                       help="live progress line on stderr plus a final "
                            "campaign summary (rate, hit rate, stage "
                            "latency sparklines)")
+    p_sw.add_argument("--campaign-dir", metavar="PATH", default=None,
+                      help="run the sweep as a durable campaign rooted at "
+                           "PATH (declared manifest + shared store; "
+                           "interrupt and rerun to resume)")
     _add_metrics_flags(p_sw)
     p_sw.set_defaults(fn=cmd_sweep)
+
+    p_cp = sub.add_parser(
+        "campaign",
+        help="durable, resumable sweeps over a shared on-disk store",
+    )
+    cp_sub = p_cp.add_subparsers(dest="action", required=True)
+
+    def _add_campaign_exec_flags(p) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for pending points")
+        p.add_argument("--max-points", type=int, default=None, metavar="K",
+                       help="simulate at most K pending points this "
+                            "invocation; the rest stay pending for a "
+                            "later resume")
+        p.add_argument("--dashboard", action="store_true",
+                       help="live progress line on stderr while running")
+
+    p_cr = cp_sub.add_parser(
+        "run", help="declare a point set into DIR and drain its queue")
+    p_cr.add_argument("--dir", required=True, metavar="PATH",
+                      help="campaign directory (manifest.json + results/)")
+    p_cr.add_argument("--name", default=None,
+                      help="campaign display name (default: the kind)")
+    p_cr.add_argument("--kind", choices=("speedup", "scalability"),
+                      default="speedup")
+    p_cr.add_argument("--task", default="cfar",
+                      help="swept task for --kind speedup")
+    p_cr.add_argument("--nodes", default="4,8,16",
+                      help="comma-separated node counts (speedup)")
+    p_cr.add_argument("--budgets", default="30,59,118",
+                      help="comma-separated node budgets (scalability)")
+    p_cr.add_argument("--cpis", type=int, default=25)
+    p_cr.add_argument("--measured", action="store_true",
+                      help="two-phase paced measurement per point "
+                           "(scalability)")
+    p_cr.add_argument("--params", choices=_PARAM_PRESETS, default="paper",
+                      help="STAP parameter preset for every point")
+    p_cr.add_argument("--backend",
+                      choices=("python", "lowered", "compiled", "auto"),
+                      default=None,
+                      help="simulator core for every point")
+    _add_campaign_exec_flags(p_cr)
+    p_cr.set_defaults(fn=cmd_campaign_run)
+
+    p_cs = cp_sub.add_parser(
+        "status",
+        help="report a campaign's progress from its store alone "
+             "(works from a second terminal against a live campaign)")
+    p_cs.add_argument("--dir", required=True, metavar="PATH")
+    p_cs.set_defaults(fn=cmd_campaign_status)
+
+    p_cres = cp_sub.add_parser(
+        "resume",
+        help="rebuild the point set from DIR's manifest and finish "
+             "whatever is still pending")
+    p_cres.add_argument("--dir", required=True, metavar="PATH")
+    _add_campaign_exec_flags(p_cres)
+    p_cres.set_defaults(fn=cmd_campaign_resume)
 
     p_tl = sub.add_parser("timeline", help="ASCII Gantt of a pipeline run")
     p_tl.add_argument("--name", choices=sorted(NAMED_CASES), default="case3")

@@ -10,6 +10,11 @@ This package runs such grids as fast as the host allows:
 * :class:`ResultCache` / :func:`cache_key` — the content-addressed result
   store (in-process LRU + optional on-disk layer) keyed on everything the
   simulation depends on;
+* :class:`CampaignStore` / :class:`Campaign` / :func:`load_campaign` —
+  the durable campaign subsystem (:mod:`repro.exec.campaign`): a shared
+  on-disk store with a versioned manifest of declared points plus the
+  pull-based pending/complete work queue, so multi-hour sweeps resume
+  across processes and runs (``repro-stap campaign run/status/resume``);
 * :data:`repro.perf.exec_counters` — always-on counters proving, e.g.,
   that a repeated sweep performed zero new simulations.
 
@@ -31,6 +36,7 @@ and the ``run_measured`` probe phase.
 
 from repro.exec.cache import (
     CACHE_SCHEMA,
+    MANIFEST_SCHEMA,
     USE_DEFAULT_CACHE,
     ResultCache,
     cache_key,
@@ -47,9 +53,18 @@ from repro.exec.executor import (
     run_points,
 )
 from repro.exec.point import PointResult, SimPoint, probe_throughput
+from repro.exec.campaign import (
+    Campaign,
+    CampaignProgress,
+    CampaignStore,
+    load_campaign,
+    point_from_spec,
+    point_spec,
+)
 
 __all__ = [
     "CACHE_SCHEMA",
+    "MANIFEST_SCHEMA",
     "USE_DEFAULT_CACHE",
     "ResultCache",
     "cache_key",
@@ -65,4 +80,10 @@ __all__ = [
     "execute_point",
     "raise_on_failures",
     "run_points",
+    "Campaign",
+    "CampaignProgress",
+    "CampaignStore",
+    "load_campaign",
+    "point_spec",
+    "point_from_spec",
 ]

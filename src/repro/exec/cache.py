@@ -62,7 +62,19 @@ from repro.version import __version__
 
 #: Bump to invalidate every cached result (schema or semantics change).
 #: 2: cache keys gained the resolved engine-backend identity.
-CACHE_SCHEMA = 2
+#: 3: campaign-store era — key documents carry the manifest schema, so
+#:    results published before campaign manifests existed read as clean
+#:    misses (their keys differ) rather than half-compatible entries.
+CACHE_SCHEMA = 3
+
+#: Version of the campaign manifest document (``manifest.json`` in a
+#: :class:`~repro.exec.campaign.CampaignStore` directory).  A manifest
+#: written under a different schema — or a different :data:`CACHE_SCHEMA`,
+#: which changes every result key it references — loads as an *empty*
+#: manifest (a clean miss for every point), never as an error.  Defined
+#: here rather than in :mod:`repro.exec.campaign` because the result-key
+#: fingerprint includes it.
+MANIFEST_SCHEMA = 1
 
 _metrics_registry = None
 
@@ -151,6 +163,7 @@ def point_fingerprint(point) -> dict:
     """The full key document of a :class:`~repro.exec.point.SimPoint`."""
     return {
         "schema": CACHE_SCHEMA,
+        "manifest": MANIFEST_SCHEMA,
         "version": __version__,
         "engine": engine_fingerprint(getattr(point, "backend", None)),
         "params": _canon(point.params),
@@ -229,6 +242,38 @@ class ResultCache:
         _count("exec_cache_misses_total", "result-cache lookups that missed")
         return None
 
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists for ``key`` (memory or published disk).
+
+        A pure existence probe — no counters, no load, no LRU promotion.
+        This is the campaign queue's two-state test: atomic publishing
+        means an existing file is never half-written, so presence means
+        *complete* (a corrupt entry still degrades to a miss at ``get``
+        time and the point simply reruns).
+        """
+        if key in self._memory:
+            return True
+        return self.directory is not None and self._disk_path(key).exists()
+
+    def peek(self, key: str):
+        """Load a result without touching counters or LRU order.
+
+        For status probes (:meth:`~repro.exec.campaign.CampaignStore.progress`)
+        that must observe a store without perturbing the hit/miss
+        accounting the executor's tests assert on.  Corrupt or missing
+        entries read as ``None``.
+        """
+        cached = self._memory.get(key)
+        if cached is not None:
+            return deepcopy(cached)
+        if self.directory is None:
+            return None
+        try:
+            with open(self._disk_path(key), "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            return None
+
     def put(self, key: str, result) -> None:
         """Store one result under its content key (memory, then disk)."""
         self._remember(key, deepcopy(result))
@@ -236,10 +281,14 @@ class ResultCache:
         _count("exec_cache_stores_total", "results written into the cache")
         if self.directory is None:
             return
-        # Atomic publish: a reader never sees a half-written entry.  The
-        # directory (created in the constructor) may have been removed
-        # since — a sweep cleaning its results tree, a fresh nested
-        # ``--cache-dir`` — so it is (re)created here before writing.
+        # Atomic publish: each writer fills a private temp file and
+        # ``os.replace``\ s it over the entry, so a reader never sees a
+        # half-written result and two processes completing the same key
+        # concurrently resolve last-writer-wins (both replacements are
+        # complete, valid entries — deterministic points make them
+        # byte-equal anyway).  The directory (created in the constructor)
+        # may have been removed since — a sweep cleaning its results tree,
+        # a fresh nested ``--cache-dir`` — so it is (re)created here.
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._disk_path(key)
         fd, tmp_name = tempfile.mkstemp(
@@ -249,11 +298,16 @@ class ResultCache:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
-        except OSError:
+        except BaseException as error:
+            # Never leave a stray temp file behind; disk trouble (a full
+            # or vanished store) degrades to memory-only, but a result
+            # that cannot even be pickled is the caller's bug to see.
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
+            if not isinstance(error, OSError):
+                raise
 
     def _remember(self, key: str, result) -> None:
         self._memory[key] = result

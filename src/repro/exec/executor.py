@@ -137,13 +137,36 @@ def run_points(
 
     ``cache`` is the process default unless given explicitly; pass
     ``None`` to disable caching entirely.
+
+    A call is a one-shot campaign: the points and the resolved cache form
+    an ephemeral :class:`~repro.exec.campaign.Campaign` whose pull-based
+    queue :func:`_execute` drains.  Bind the same points to a durable
+    :class:`~repro.exec.campaign.CampaignStore` instead and the identical
+    engine becomes a resumable, multi-process sweep.
+    """
+    from repro.exec.campaign import Campaign
+
+    return Campaign(list(points), store=resolve_cache(cache)).run(
+        jobs=jobs, progress=progress
+    )
+
+
+def _execute(
+    points: Sequence[SimPoint],
+    jobs: int,
+    store: Optional[ResultCache],
+    progress: Optional[ProgressCallback] = None,
+) -> list[PointOutcome]:
+    """The executor engine: drain one campaign's queue over ``jobs`` workers.
+
+    ``store`` is any already-resolved result store (a plain
+    :class:`ResultCache`, a :class:`~repro.exec.campaign.CampaignStore`,
+    or ``None``); each point is first pulled from it (complete → served,
+    no simulation) and fresh results are atomically published back.
     """
     from repro.obs.metrics import metrics_registry
 
     points = list(points)
-    if jobs < 1:
-        raise ExecutionError(f"jobs must be >= 1, got {jobs}")
-    store = resolve_cache(cache)
     total = len(points)
     outcomes: list[Optional[PointOutcome]] = [None] * total
     completed = 0

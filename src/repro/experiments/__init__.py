@@ -21,7 +21,12 @@ from repro.experiments.tables import (
     run_baseline,
     PAPER_CASES,
 )
-from repro.experiments.sweeps import speedup_series, scalability_curve
+from repro.experiments.sweeps import (
+    scalability_curve,
+    scalability_points,
+    speedup_points,
+    speedup_series,
+)
 from repro.experiments.report import generate_report, write_report
 
 __all__ = [
@@ -37,5 +42,7 @@ __all__ = [
     "run_baseline",
     "PAPER_CASES",
     "speedup_series",
+    "speedup_points",
     "scalability_curve",
+    "scalability_points",
 ]

@@ -49,10 +49,23 @@ def _traced_run(point: SimPoint, trace_dir, point_name: str):
     return result
 
 
-def _run_sweep_points(points, names, trace_dir, jobs, cache, progress=None):
-    """Results for a sweep's points, one per point, in input order."""
+def _run_sweep_points(points, names, trace_dir, jobs, cache, progress=None,
+                      campaign_dir=None, campaign_name="sweep"):
+    """Results for a sweep's points, one per point, in input order.
+
+    ``campaign_dir`` routes the sweep through a durable
+    :class:`~repro.exec.campaign.CampaignStore` at that directory: points
+    are declared in the manifest, results publish atomically, and an
+    interrupted sweep rerun against the same directory resumes from
+    whatever completed (``repro-stap campaign status`` reads the same
+    store from any terminal).
+    """
     if trace_dir is not None:
         return [_traced_run(p, trace_dir, name) for p, name in zip(points, names)]
+    if campaign_dir is not None:
+        from repro.exec.campaign import CampaignStore
+
+        cache = CampaignStore(campaign_dir, name=campaign_name)
     outcomes = run_points(points, jobs=jobs, cache=cache, progress=progress)
     raise_on_failures(outcomes)
     return [outcome.result for outcome in outcomes]
@@ -84,25 +97,19 @@ class SpeedupPoint:
         return self.speedup / self.ideal_speedup
 
 
-def speedup_series(
+def speedup_points(
     task: str,
     node_counts: Sequence[int],
     num_cpis: int = 25,
     machine: Optional[Machine] = None,
     params: Optional[STAPParams] = None,
-    trace_dir=None,
-    jobs: int = 1,
-    cache=USE_DEFAULT_CACHE,
     backend: Optional[str] = None,
-    progress=None,
-) -> list[SpeedupPoint]:
-    """Figure 11: computation time & speedup of one task vs its node count.
+) -> tuple[list[SimPoint], list[str]]:
+    """The Figure-11 point set: one assignment per swept node count.
 
-    The other tasks are held at case-2 counts; each point is one
-    full-pipeline simulation's comp column.  Points are independent, so
-    they run through the executor (``jobs`` workers, result-cached).
-    ``progress`` is an executor :data:`~repro.exec.executor.ProgressCallback`
-    (e.g. a :class:`repro.obs.SweepDashboard`); ignored for traced sweeps.
+    Shared by :func:`speedup_series` and the ``campaign`` CLI, so a
+    durable campaign declares exactly the points the in-process sweep
+    would run.
     """
     if task not in TASK_NAMES:
         raise ConfigurationError(f"unknown task {task!r}")
@@ -124,7 +131,40 @@ def speedup_series(
             )
         )
         names.append(name)
-    results = _run_sweep_points(points, names, trace_dir, jobs, cache, progress)
+    return points, names
+
+
+def speedup_series(
+    task: str,
+    node_counts: Sequence[int],
+    num_cpis: int = 25,
+    machine: Optional[Machine] = None,
+    params: Optional[STAPParams] = None,
+    trace_dir=None,
+    jobs: int = 1,
+    cache=USE_DEFAULT_CACHE,
+    backend: Optional[str] = None,
+    progress=None,
+    campaign_dir=None,
+) -> list[SpeedupPoint]:
+    """Figure 11: computation time & speedup of one task vs its node count.
+
+    The other tasks are held at case-2 counts; each point is one
+    full-pipeline simulation's comp column.  Points are independent, so
+    they run through the executor (``jobs`` workers, result-cached).
+    ``progress`` is an executor :data:`~repro.exec.executor.ProgressCallback`
+    (e.g. a :class:`repro.obs.SweepDashboard`); ignored for traced sweeps.
+    ``campaign_dir`` makes the sweep durable and resumable (see
+    :mod:`repro.exec.campaign`).
+    """
+    points, names = speedup_points(
+        task, node_counts, num_cpis=num_cpis, machine=machine, params=params,
+        backend=backend,
+    )
+    results = _run_sweep_points(
+        points, names, trace_dir, jobs, cache, progress,
+        campaign_dir=campaign_dir, campaign_name=f"speedup-{task}",
+    )
     series = []
     base_comp = None
     base_nodes = None
@@ -153,23 +193,19 @@ class ScalabilityPoint:
     latency: float
 
 
-def scalability_curve(
+def scalability_points(
     budgets: Sequence[int],
     num_cpis: int = 15,
     machine: Optional[Machine] = None,
     params: Optional[STAPParams] = None,
     measured: bool = True,
-    trace_dir=None,
-    jobs: int = 1,
-    cache=USE_DEFAULT_CACHE,
     backend: Optional[str] = None,
-    progress=None,
-) -> list[ScalabilityPoint]:
-    """Throughput/latency vs total node budget, with optimized assignments.
+) -> tuple[list[SimPoint], list[Assignment]]:
+    """The scalability point set: one optimized assignment per budget.
 
-    The generalization of Table 8's three points: for each budget, the
-    greedy optimizer picks the assignment (cheap, in-process) and the
-    simulation measures it (fanned out over ``jobs`` workers).
+    The optimizer runs here (cheap, in-process); only the simulations are
+    campaign work.  Shared by :func:`scalability_curve` and the
+    ``campaign`` CLI.
     """
     if not budgets:
         raise ConfigurationError("budgets must be non-empty")
@@ -187,8 +223,38 @@ def scalability_curve(
         )
         for assignment in assignments
     ]
+    return points, assignments
+
+
+def scalability_curve(
+    budgets: Sequence[int],
+    num_cpis: int = 15,
+    machine: Optional[Machine] = None,
+    params: Optional[STAPParams] = None,
+    measured: bool = True,
+    trace_dir=None,
+    jobs: int = 1,
+    cache=USE_DEFAULT_CACHE,
+    backend: Optional[str] = None,
+    progress=None,
+    campaign_dir=None,
+) -> list[ScalabilityPoint]:
+    """Throughput/latency vs total node budget, with optimized assignments.
+
+    The generalization of Table 8's three points: for each budget, the
+    greedy optimizer picks the assignment (cheap, in-process) and the
+    simulation measures it (fanned out over ``jobs`` workers).
+    ``campaign_dir`` makes the sweep durable and resumable.
+    """
+    points, assignments = scalability_points(
+        budgets, num_cpis=num_cpis, machine=machine, params=params,
+        measured=measured, backend=backend,
+    )
     names = [f"budget-{budget}" for budget in budgets]
-    results = _run_sweep_points(points, names, trace_dir, jobs, cache, progress)
+    results = _run_sweep_points(
+        points, names, trace_dir, jobs, cache, progress,
+        campaign_dir=campaign_dir, campaign_name="scalability",
+    )
     return [
         ScalabilityPoint(
             budget=budget,

@@ -31,6 +31,11 @@ Campaign-scale telemetry lives alongside the single-run trace layer:
 * :mod:`repro.obs.dashboard` — :class:`SweepDashboard`, a live terminal
   progress callback for sweeps (points/s, cache hit rate, errors, ETA,
   per-stage latency histograms);
+* :mod:`repro.obs.progress` — store-backed campaign progress: the same
+  dashboard figures (pts/s, completion, ETA, stage histograms) read from
+  a :class:`~repro.exec.campaign.CampaignStore` directory on disk, so
+  ``repro-stap campaign status`` reports on a campaign this process did
+  not start;
 * :mod:`repro.obs.regress` — the benchmark/metrics regression gate
   (``python -m repro.obs.regress baseline.json current.json``).
 """
@@ -57,6 +62,7 @@ from repro.obs.metrics import (
 from repro.obs.export import chrome_trace, write_chrome_trace
 from repro.obs.report import EdgeTraffic, PipelineObsReport, build_report
 from repro.obs.dashboard import SweepDashboard
+from repro.obs.progress import campaign_status, read_campaign_progress
 
 _REGRESS_EXPORTS = ("RegressionReport", "compare", "compare_files")
 
@@ -93,6 +99,8 @@ __all__ = [
     "to_prometheus",
     "write_snapshot",
     "SweepDashboard",
+    "campaign_status",
+    "read_campaign_progress",
     "RegressionReport",
     "compare",
     "compare_files",

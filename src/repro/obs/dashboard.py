@@ -135,6 +135,52 @@ class SweepDashboard:
             labels={"task": task}, buckets=SECONDS_BUCKETS,
         )
 
+    # -- store-backed fallback ---------------------------------------------------
+    def seed_progress(self, progress) -> None:
+        """Adopt a store-derived :class:`~repro.exec.campaign.CampaignProgress`.
+
+        The fallback for campaigns this process is not running: when no
+        in-process callback is wired, the same figures are read from the
+        campaign store on disk — completed points count as store-served
+        (they are cache hits from this observer's perspective), the
+        points/s rate comes from the results' publish-time span, and the
+        per-stage histograms are rebuilt from the stored metrics.
+        Idempotent: re-seeding replaces the previous state, so a watcher
+        can refresh in a loop.
+        """
+        now = self.clock()
+        self.total = progress.total
+        self.completed = progress.complete
+        self.cached = progress.complete
+        self.errors = 0
+        self.sim_seconds = 0.0
+        # With fewer than two publish times the historical rate is
+        # unknown — leave started_at unset so pts/s and ETA render "?"
+        # instead of a nonsense figure from a near-zero elapsed.
+        self.started_at = (
+            now - progress.span_seconds if progress.span_seconds > 0 else None
+        )
+        self._stage_registry = MetricsRegistry()
+        self._stage_registry.enable()
+        for task, comps in progress.stage_comp.items():
+            histogram = self._stage_histogram(task)
+            for comp in comps:
+                histogram.observe(comp)
+
+    @classmethod
+    def from_store(cls, directory, label: str = "", **kwargs) -> "SweepDashboard":
+        """A dashboard seeded from a campaign store directory.
+
+        ``repro-stap campaign status`` uses this to report on a live (or
+        finished, or crashed) campaign from a second terminal.
+        """
+        from repro.obs.progress import read_campaign_progress
+
+        progress = read_campaign_progress(directory)
+        dash = cls(label=label or f"campaign:{progress.name}", **kwargs)
+        dash.seed_progress(progress)
+        return dash
+
     # -- derived figures ---------------------------------------------------------
     @property
     def elapsed(self) -> float:
@@ -191,12 +237,13 @@ class SweepDashboard:
 
     def summary(self) -> str:
         """Final multi-line block: totals plus per-stage comp histograms."""
+        rate = self.points_per_second
         lines = [
             f"--- {self.label} dashboard",
             f"points      {self.completed}/{self.total}  "
             f"({self.cached} cached, {self.errors} errors)",
             f"wall        {_fmt_seconds(self.elapsed)}  "
-            f"({self.points_per_second:.2f} pts/s, "
+            f"({f'{rate:.2f}' if rate == rate else '?'} pts/s, "
             f"{self.sim_seconds:.1f} s simulating)",
         ]
         snapshot = self._stage_registry.snapshot()

@@ -1,0 +1,58 @@
+"""Store-backed campaign progress: observe a sweep you did not start.
+
+A live :class:`~repro.obs.dashboard.SweepDashboard` is fed by the
+executor's in-process progress callback; a campaign running in *another*
+process offers no such feed.  This module reads the same figures —
+points/s, completion, cache state, per-stage comp-seconds, ETA — straight
+from a :class:`~repro.exec.campaign.CampaignStore` directory, so
+``repro-stap campaign status`` (or any second terminal) can render an
+accurate dashboard from disk alone while the campaign is still running.
+
+Everything here is read-only and counter-neutral: progress probes go
+through the store's ``peek`` path, never perturbing the hit/miss
+accounting a live run is accumulating.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def read_campaign_progress(directory, load_results: bool = True):
+    """The :class:`~repro.exec.campaign.CampaignProgress` of a store on disk.
+
+    ``load_results`` controls whether completed results are unpickled for
+    the per-stage comp-seconds breakdown (linear in completed points).
+    """
+    from repro.exec.campaign import CampaignStore
+
+    return CampaignStore(directory).progress(load_results=load_results)
+
+
+def campaign_status(directory, label: Optional[str] = None) -> str:
+    """The full status block for a campaign directory.
+
+    A :class:`~repro.obs.dashboard.SweepDashboard` seeded from the store
+    renders it, so the figures and layout match what the campaign's own
+    ``--dashboard`` shows — same status line, same per-stage sparklines —
+    just derived from disk instead of a live callback.
+    """
+    import io
+
+    from repro.exec.campaign import CampaignStore
+    from repro.obs.dashboard import SweepDashboard
+
+    store = CampaignStore(directory)
+    progress = store.progress()
+    dash = SweepDashboard(
+        stream=io.StringIO(),  # status is returned, not live-rendered
+        label=label or f"campaign:{progress.name}",
+    )
+    dash.seed_progress(progress)
+    lines = [dash.status_line(), "", dash.summary()]
+    if store.stale_manifest:
+        lines.append(
+            "note: an on-disk manifest from an older schema/version was "
+            "ignored (every point reads as pending)"
+        )
+    return "\n".join(lines)

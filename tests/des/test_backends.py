@@ -366,7 +366,8 @@ class TestBackendEquivalence:
 # -- cache keys ----------------------------------------------------------------------
 class TestCacheIdentity:
     def test_schema_covers_the_engine_dimension(self):
-        assert CACHE_SCHEMA == 2
+        # 2 introduced engine identity; 3 is the campaign-store era.
+        assert CACHE_SCHEMA == 3
 
     def test_engine_fingerprint_resolves_and_carries_schema(self):
         assert engine_fingerprint(None) == {

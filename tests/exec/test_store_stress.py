@@ -1,0 +1,87 @@
+"""Concurrent same-key publishing: last-writer-wins, never torn reads.
+
+Several processes hammer one campaign store directory, repeatedly
+publishing distinguishable-but-valid payloads under the *same* keys while
+readers pull concurrently.  The atomic tmp + ``os.replace`` protocol must
+guarantee that every successful read observes one complete payload — a
+mix of two writes (a torn read) or an unpickling error would fail the
+internal-consistency check.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.exec.cache import ResultCache
+
+pytestmark = pytest.mark.exec
+
+KEYS = ("aaaa0000", "bbbb1111")
+WRITES_PER_WORKER = 40
+
+
+def _payload(worker: int, iteration: int):
+    """A payload whose fields must agree — a torn read breaks the echo."""
+    body = list(range(iteration, iteration + 64))
+    return {
+        "worker": worker,
+        "iteration": iteration,
+        "body": body,
+        "echo": (worker, iteration, sum(body)),
+    }
+
+
+def _consistent(payload) -> bool:
+    return payload["echo"] == (
+        payload["worker"],
+        payload["iteration"],
+        sum(payload["body"]),
+    )
+
+
+def _hammer(directory, worker, failures):
+    # A fresh cache per process, tiny memory layer so reads go to disk.
+    cache = ResultCache(directory=directory, maxsize=1)
+    for iteration in range(WRITES_PER_WORKER):
+        for key in KEYS:
+            cache.put(key, _payload(worker, iteration))
+            # Read back through a *second* cache so the memory layer
+            # cannot mask a torn file.
+            seen = ResultCache(directory=directory, maxsize=1).get(key)
+            if seen is not None and not _consistent(seen):
+                failures.put((worker, iteration, key))
+                return
+
+
+def test_concurrent_same_key_publishing_never_tears(tmp_path):
+    context = multiprocessing.get_context("fork")
+    failures = context.Queue()
+    workers = [
+        context.Process(target=_hammer, args=(tmp_path, rank, failures))
+        for rank in range(4)
+    ]
+    for process in workers:
+        process.start()
+    for process in workers:
+        process.join(timeout=120)
+    assert all(process.exitcode == 0 for process in workers)
+    assert failures.empty(), f"torn read observed: {failures.get()}"
+
+    # After the dust settles every key holds one complete payload from
+    # some writer (last-writer-wins) and round-trips through pickle.
+    survivor = ResultCache(directory=tmp_path, maxsize=1)
+    for key in KEYS:
+        payload = survivor.get(key)
+        assert payload is not None
+        assert _consistent(payload)
+        assert pickle.loads(pickle.dumps(payload)) == payload
+
+
+def test_corrupt_entry_is_a_miss_not_an_error(tmp_path):
+    cache = ResultCache(directory=tmp_path, maxsize=1)
+    cache.put(KEYS[0], _payload(0, 0))
+    # Simulate a writer dying mid-copy on a non-atomic filesystem.
+    path = tmp_path / f"{KEYS[0]}.pkl"
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    assert ResultCache(directory=tmp_path, maxsize=1).get(KEYS[0]) is None

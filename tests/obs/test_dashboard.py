@@ -189,3 +189,78 @@ class TestSummary:
         text = dash.summary()
         assert "points      1/1" in text
         assert "stage comp seconds" not in text
+
+
+class TestStoreFallback:
+    """seed_progress / from_store: the disk-only path behind
+    ``repro-stap campaign status``."""
+
+    @staticmethod
+    def progress(total=5, complete=3, stage_comp=None, span_seconds=0.0):
+        from repro.exec.campaign import CampaignProgress
+
+        return CampaignProgress(
+            name="fall",
+            total=total,
+            complete=complete,
+            stage_comp=stage_comp or {},
+            span_seconds=span_seconds,
+        )
+
+    def test_seed_adopts_store_figures(self):
+        dash, clock, _ = make_dash()
+        dash.seed_progress(self.progress(span_seconds=6.0))
+        assert (dash.completed, dash.total) == (3, 5)
+        # Store-served points count as cached from this observer's view.
+        assert dash.cached == 3
+        assert dash.cache_hit_rate == 1.0
+        assert dash.points_per_second == pytest.approx(0.5)
+        assert dash.eta_seconds == pytest.approx(4.0)
+
+    def test_zero_span_renders_unknown_rate_not_garbage(self):
+        dash, clock, _ = make_dash()
+        dash.seed_progress(self.progress(complete=1, span_seconds=0.0))
+        assert dash.points_per_second != dash.points_per_second  # NaN
+        assert "    ? pts/s" in dash.status_line()
+        assert "? pts/s" in dash.summary()
+        assert "ETA ?" in dash.status_line()
+
+    def test_stage_histograms_rebuilt_from_store(self):
+        dash, _, _ = make_dash()
+        dash.seed_progress(
+            self.progress(stage_comp={"doppler": [0.2, 0.3], "cfar": [0.1]})
+        )
+        text = dash.summary()
+        assert "doppler" in text and "cfar" in text
+        assert "250.0 ms mean" in text
+
+    def test_reseed_replaces_rather_than_accumulates(self):
+        dash, _, _ = make_dash()
+        dash.seed_progress(self.progress(stage_comp={"doppler": [0.2]}))
+        dash.seed_progress(
+            self.progress(complete=4, stage_comp={"doppler": [0.2]})
+        )
+        assert dash.completed == 4 and dash.cached == 4
+        snap = dash._stage_registry.snapshot()
+        hist = snap.histogram("stage_comp_seconds", {"task": "doppler"})
+        assert hist["count"] == 1  # not 2: the re-seed replaced the state
+
+    def test_from_store_reads_a_real_campaign_directory(self, tmp_path):
+        from repro import Assignment, STAPParams
+        from repro.exec import Campaign, CampaignStore, SimPoint
+
+        points = [
+            SimPoint(
+                STAPParams.tiny(),
+                Assignment(2, 1, 2, 1, 1, 1, 1, name=f"d{i}"),
+                num_cpis=3 + i,
+            )
+            for i in range(2)
+        ]
+        Campaign(points, store=CampaignStore(tmp_path, name="disk")).run(
+            limit=1
+        )
+        dash = SweepDashboard.from_store(tmp_path, stream=io.StringIO())
+        assert dash.label == "campaign:disk"
+        assert (dash.completed, dash.total) == (1, 2)
+        assert "doppler" in dash.summary()

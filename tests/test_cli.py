@@ -84,3 +84,65 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "timeline:" in out
         assert "doppler" in out
+
+
+class TestCampaignCommands:
+    """campaign run / status / resume against a real store directory."""
+
+    RUN = ["campaign", "run", "--kind", "scalability", "--budgets", "10,14",
+           "--params", "tiny", "--cpis", "3"]
+
+    def test_run_status_resume_round_trip(self, capsys, tmp_path):
+        directory = str(tmp_path / "camp")
+
+        # Partial run: one point simulated, one left pending.
+        assert main(self.RUN + ["--dir", directory, "--max-points", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 simulated" in out
+        assert "1/2" in out
+
+        # Status from "a second terminal": disk only, no execution.
+        assert main(["campaign", "status", "--dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "1/2" in out and "50%" in out
+
+        # Resume finishes the pending point; the first comes from store.
+        assert main(["campaign", "resume", "--dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "1 simulated" in out and "1 from store" in out
+        assert "2/2" in out
+
+        # Resuming a finished campaign performs zero simulations.
+        assert main(["campaign", "resume", "--dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated" in out and "2 from store" in out
+
+    def test_status_without_manifest_fails_cleanly(self, capsys, tmp_path):
+        directory = str(tmp_path / "empty")
+        assert main(["campaign", "resume", "--dir", directory]) == 2
+        err = capsys.readouterr().err
+        assert "no campaign manifest" in err
+
+    def test_run_speedup_kind(self, capsys, tmp_path):
+        # Speedup campaigns hold the other tasks at case-2 (paper-scale)
+        # node counts, so they need the paper params.
+        assert main([
+            "campaign", "run", "--kind", "speedup", "--task", "cfar",
+            "--nodes", "4,8", "--cpis", "3", "--dir", str(tmp_path / "sp"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 points processed" in out and "2/2" in out
+
+    def test_sweep_campaign_dir_flag(self, capsys, tmp_path):
+        args = ["sweep", "--task", "cfar", "--nodes", "4,8", "--cpis", "4",
+                "--campaign-dir", str(tmp_path / "sw")]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "2 simulated" in first
+        assert main(args) == 0  # second run resolves entirely from store
+        second = capsys.readouterr().out
+        assert "0 simulated, 2 from cache (2 disk)" in second
+        # The figure tables themselves are identical either way.
+        table = lambda text: [l for l in text.splitlines()
+                              if l.startswith(("===", "  ", "nodes"))]
+        assert table(second) == table(first)
