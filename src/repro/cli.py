@@ -7,6 +7,7 @@ Subcommands map onto the paper's experiments:
 ``case``       Table 7/8 — run a named assignment on the Paragon model
 ``roundrobin`` Section 2 — the RTMCARM baseline
 ``optimize``   Section 4.1.2 — processor-assignment search
+``tune``       simulation-in-the-loop Pareto auto-tuner
 ``detect``     functional demo — detections from synthetic data
 ``timeline``   ASCII Gantt of a pipeline run
 ``sweep``      Figure 11 / scalability sweeps on the parallel executor
@@ -140,7 +141,8 @@ def cmd_roundrobin(args) -> int:
 
 
 def cmd_optimize(args) -> int:
-    model = AnalyticPipelineModel(STAPParams.paper())
+    params = _preset_params(args.params)
+    model = AnalyticPipelineModel(params)
     if args.objective == "throughput":
         assignment = optimize_throughput(model, args.budget)
     else:
@@ -154,8 +156,90 @@ def cmd_optimize(args) -> int:
         assignment.counts(),
     ):
         print(f"  {task:<18} {count}")
-    print(f"predicted throughput: {model.throughput(assignment):.3f} CPIs/s")
-    print(f"predicted latency:    {model.latency(assignment):.4f} s")
+    predicted_throughput = model.throughput(assignment)
+    predicted_latency = model.latency(assignment)
+    print(f"predicted throughput: {predicted_throughput:.3f} CPIs/s")
+    print(f"predicted latency:    {predicted_latency:.4f} s")
+    if args.confirm:
+        from repro.exec import SimPoint, run_points
+
+        outcome = run_points(
+            [
+                SimPoint(
+                    params, assignment, num_cpis=args.cpis,
+                    label=f"confirm {assignment.name}",
+                )
+            ]
+        )[0]
+        metrics = outcome.unwrap().metrics
+        source = "cache" if outcome.cached else "simulated"
+        print(f"\nconfirmation run ({args.cpis} CPIs, {source}):")
+        print(f"{'':>14} {'predicted':>11} {'simulated':>11} {'error':>8}")
+        for label, predicted, simulated in (
+            ("throughput", predicted_throughput, metrics.measured_throughput),
+            ("latency", predicted_latency, metrics.measured_latency),
+        ):
+            error = (simulated - predicted) / predicted * 100.0
+            print(f"{label:>14} {predicted:>11.4f} {simulated:>11.4f} "
+                  f"{error:>+7.1f}%")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.machine import machine_scenario
+    from repro.perf import exec_counters
+    from repro.scheduling import TunerConfig, tune
+
+    params = _preset_params(args.params)
+    machine = machine_scenario(args.scenario)
+    config = TunerConfig(
+        objective=args.objective,
+        num_cpis=args.cpis,
+        sim_candidates=args.sim_candidates,
+        sim_rounds=args.sim_rounds,
+        jobs=args.jobs,
+        backend=args.backend,
+    )
+    seeds = []
+    if args.params == "paper":
+        # Ride the paper's evaluated assignments along as seeds so the
+        # result states where Table 7/9/10 sit relative to the front.
+        seeds = [
+            case for case in NAMED_CASES.values()
+            if case.total_nodes <= args.budget
+        ]
+    dash = None
+    if args.dashboard:
+        from repro.obs import SweepDashboard
+
+        dash = SweepDashboard(label=f"tune:{args.scenario}:{args.budget}")
+    metered = _enable_metrics(args)
+    before = exec_counters.snapshot()
+    result = tune(
+        params,
+        args.budget,
+        machine=machine,
+        config=config,
+        seeds=seeds,
+        campaign_dir=args.campaign_dir,
+        progress=dash,
+    )
+    delta = exec_counters.delta_since(before)
+    print(result.summary())
+    hits = delta["cache_hits_memory"] + delta["cache_hits_disk"]
+    print(f"\nexecutor: {delta['points_submitted']} points, "
+          f"{delta['simulations_run']} simulated, {hits} from cache "
+          f"({delta['cache_hits_disk']} disk)")
+    if dash is not None:
+        print()
+        print(dash.summary())
+    if args.out:
+        front = result.front
+        front.extra.update(result.to_dict()["extra"])
+        path = front.save(args.out)
+        print(f"wrote Pareto front {path}")
+    if metered:
+        _write_metrics(args)
     return 0
 
 
@@ -425,7 +509,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--objective", choices=("throughput", "latency"),
                        default="throughput")
     p_opt.add_argument("--min-throughput", type=float, default=None)
+    p_opt.add_argument("--params", choices=_PARAM_PRESETS, default="paper",
+                       help="STAP parameter preset the model is built for")
+    p_opt.add_argument("--cpis", type=int, default=15,
+                       help="CPIs for the --confirm simulation")
+    p_opt.add_argument("--confirm", action="store_true",
+                       help="run one (cached) simulation of the chosen "
+                            "assignment and print predicted vs simulated "
+                            "side by side")
     p_opt.set_defaults(fn=cmd_optimize)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="simulation-in-the-loop Pareto auto-tuner (analytic "
+             "prescreen, then cached simulator refinement)",
+    )
+    p_tune.add_argument("--budget", type=int, required=True,
+                        help="node budget to assign")
+    p_tune.add_argument("--objective",
+                        choices=("pareto", "throughput", "latency"),
+                        default="pareto")
+    p_tune.add_argument("--params", choices=_PARAM_PRESETS, default="paper",
+                        help="STAP parameter preset")
+    p_tune.add_argument("--scenario", default="paragon",
+                        help="machine scenario (see repro.machine: paragon, "
+                             "fat_nodes, fast_links, gpu_nodes, legacy_front)")
+    p_tune.add_argument("--cpis", type=int, default=15,
+                        help="CPIs per refinement simulation")
+    p_tune.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for refinement simulations")
+    p_tune.add_argument("--sim-candidates", type=int, default=12,
+                        help="candidates simulated per refinement round "
+                             "(0 = analytic prescreen only, no simulation)")
+    p_tune.add_argument("--sim-rounds", type=int, default=2,
+                        help="refinement rounds around the measured winners")
+    p_tune.add_argument("--backend",
+                        choices=("python", "lowered", "compiled", "auto"),
+                        default=None,
+                        help="simulator core for refinement runs")
+    p_tune.add_argument("--campaign-dir", metavar="PATH", default=None,
+                        help="root refinement runs in a durable campaign "
+                             "store at PATH (interrupt and rerun to resume; "
+                             "a warm store re-simulates nothing)")
+    p_tune.add_argument("--dashboard", action="store_true",
+                        help="live progress line on stderr during "
+                             "refinement rounds")
+    p_tune.add_argument("--out", metavar="PATH", default=None,
+                        help="write the tuned Pareto front as versioned "
+                             "JSON to PATH")
+    _add_metrics_flags(p_tune)
+    p_tune.set_defaults(fn=cmd_tune)
 
     p_det = sub.add_parser("detect", help="functional detection demo")
     p_det.add_argument("--cpis", type=int, default=4)

@@ -24,7 +24,10 @@ The key is the SHA-256 of a canonical JSON document containing:
 * the assignment's node counts (the cosmetic ``name`` is excluded — two
   differently-named assignments with equal counts simulate identically);
 * the machine calibration: mesh dimensions, per-kernel compute rates,
-  node model, network and packing cost models;
+  node model, network and packing cost models — plus the heterogeneous
+  speed regions when the machine has any (the key component is omitted
+  entirely for homogeneous machines, so their keys predate heterogeneity
+  unchanged);
 * ``num_cpis``, ``mode``, ``input_rate``, ``contention``,
   ``azimuth_cycle``, ``double_buffering``, ``collect_training``, and
   whether the run is the two-phase ``run_measured`` measurement.
@@ -133,12 +136,17 @@ def machine_fingerprint(machine: Optional[Machine]) -> dict:
     given).
     """
     machine = machine or afrl_paragon()
-    return {
+    fingerprint = {
         "mesh": _canon(machine.mesh),
         "node": _canon(machine.node),
         "network_cost": _canon(machine.network_cost),
         "packing_cost": _canon(machine.packing_cost),
     }
+    # Heterogeneity enters the key only when present, so every
+    # homogeneous key (the entire pre-heterogeneity store) is unchanged.
+    if machine.speed_regions:
+        fingerprint["speed_regions"] = _canon(machine.speed_regions)
+    return fingerprint
 
 
 def engine_fingerprint(backend) -> dict:

@@ -53,6 +53,11 @@ from repro.exec.cache import (
     cache_key,
 )
 from repro.exec.point import SimPoint
+from repro.machine import Machine
+from repro.machine.cost_model import NetworkCostModel, PackingCostModel
+from repro.machine.mesh import Mesh2D
+from repro.machine.node import ComputeRateTable, NodeModel
+from repro.machine.paragon import SpeedRegion
 from repro.radar.parameters import STAPParams
 from repro.version import __version__
 
@@ -86,27 +91,94 @@ def _decode(value):
     return value
 
 
+def _machine_spec(machine: Optional[Machine]) -> Optional[dict]:
+    """A JSON document from which a :class:`Machine` can be rebuilt.
+
+    ``None`` (the default machine) stays ``None``.  Floats go through
+    :func:`_encode` so the rebuilt machine's cache fingerprint is
+    bit-identical to the original's.
+    """
+    if machine is None:
+        return None
+    return {
+        "mesh": [machine.mesh.width, machine.mesh.height],
+        "node": {
+            "rates": {
+                kernel: _encode(rate)
+                for kernel, rate in sorted(machine.node.rates.rates.items())
+            },
+            "processors_per_node": machine.node.processors_per_node,
+            "memory_bytes": machine.node.memory_bytes,
+            "smp_efficiency": _encode(machine.node.smp_efficiency),
+        },
+        "network_cost": {
+            "startup_s": _encode(machine.network_cost.startup_s),
+            "per_byte_s": _encode(machine.network_cost.per_byte_s),
+            "per_hop_s": _encode(machine.network_cost.per_hop_s),
+        },
+        "packing_cost": {
+            "contiguous_per_byte_s": _encode(
+                machine.packing_cost.contiguous_per_byte_s
+            ),
+            "strided_per_byte_s": _encode(machine.packing_cost.strided_per_byte_s),
+        },
+        "name": machine.name,
+        "speed_regions": [
+            [region.start, region.stop, _encode(region.factor)]
+            for region in machine.speed_regions
+        ],
+    }
+
+
+def _machine_from_spec(spec: Optional[dict]) -> Optional[Machine]:
+    if spec is None:
+        return None
+    return Machine(
+        mesh=Mesh2D(*spec["mesh"]),
+        node=NodeModel(
+            rates=ComputeRateTable(
+                {k: _decode(v) for k, v in spec["node"]["rates"].items()}
+            ),
+            processors_per_node=spec["node"]["processors_per_node"],
+            memory_bytes=spec["node"]["memory_bytes"],
+            smp_efficiency=_decode(spec["node"]["smp_efficiency"]),
+        ),
+        network_cost=NetworkCostModel(
+            startup_s=_decode(spec["network_cost"]["startup_s"]),
+            per_byte_s=_decode(spec["network_cost"]["per_byte_s"]),
+            per_hop_s=_decode(spec["network_cost"]["per_hop_s"]),
+        ),
+        packing_cost=PackingCostModel(
+            contiguous_per_byte_s=_decode(
+                spec["packing_cost"]["contiguous_per_byte_s"]
+            ),
+            strided_per_byte_s=_decode(spec["packing_cost"]["strided_per_byte_s"]),
+        ),
+        name=spec["name"],
+        speed_regions=tuple(
+            SpeedRegion(start, stop, _decode(factor))
+            for start, stop, factor in spec["speed_regions"]
+        ),
+    )
+
+
 def point_spec(point: SimPoint) -> dict:
     """A JSON document from which ``point`` can be rebuilt exactly.
 
     Covers every durable-campaign point: ``modeled`` mode on the default
-    machine.  rt points time real hardware (not content-addressable) and
-    a custom :class:`~repro.machine.Machine` has no declared serial form,
-    so both are rejected — campaigns over such points still run
-    in-process, they just cannot be resumed from the manifest alone.
+    machine or any explicit :class:`~repro.machine.Machine` (the tuner's
+    heterogeneous scenarios included).  rt points time real hardware (not
+    content-addressable), so they are rejected — campaigns over such
+    points still run in-process, they just cannot be resumed from the
+    manifest alone.
     """
     if not point.cacheable:
         raise ConfigurationError(
             f"point {point.display_label!r} is not content-addressable "
             f"(mode={point.mode!r}); only modeled points have campaign specs"
         )
-    if point.machine is not None:
-        raise ConfigurationError(
-            f"point {point.display_label!r} uses a custom machine, which "
-            "has no manifest serialization; declare it with machine=None "
-            "or resume the campaign from the script that built it"
-        )
     return {
+        "machine": _machine_spec(point.machine),
         "params": {
             f.name: _encode(getattr(point.params, f.name))
             for f in dataclasses.fields(point.params)
@@ -139,6 +211,7 @@ def point_from_spec(spec: dict) -> SimPoint:
     return SimPoint(
         params,
         assignment,
+        machine=_machine_from_spec(spec.get("machine")),
         num_cpis=spec["num_cpis"],
         mode=spec["mode"],
         input_rate=_decode(spec["input_rate"]),

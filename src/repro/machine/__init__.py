@@ -22,11 +22,21 @@ from repro.machine.mesh import Mesh2D, Link
 from repro.machine.network import Network, ContentionMode
 from repro.machine.paragon import (
     Machine,
+    SpeedRegion,
     afrl_paragon,
     ruggedized_paragon,
     PARAGON_NETWORK,
     PARAGON_RATES,
     PARAGON_PACKING,
+)
+from repro.machine.hetero import (
+    MACHINE_SCENARIOS,
+    fast_links,
+    fat_nodes,
+    gpu_nodes,
+    legacy_front,
+    machine_scenario,
+    scenario_names,
 )
 
 __all__ = [
@@ -39,9 +49,17 @@ __all__ = [
     "Network",
     "ContentionMode",
     "Machine",
+    "SpeedRegion",
     "afrl_paragon",
     "ruggedized_paragon",
     "PARAGON_NETWORK",
     "PARAGON_RATES",
     "PARAGON_PACKING",
+    "MACHINE_SCENARIOS",
+    "machine_scenario",
+    "scenario_names",
+    "fat_nodes",
+    "fast_links",
+    "gpu_nodes",
+    "legacy_front",
 ]

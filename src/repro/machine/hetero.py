@@ -1,0 +1,120 @@
+"""Heterogeneous machine scenarios for the assignment auto-tuner.
+
+The paper's closed-form assignment equations (1)-(3) assume every node is
+identical.  The scenarios here deliberately break that assumption — in
+the directions the bi-criteria pipeline-mapping literature studies — so
+:mod:`repro.scheduling.tuner` can answer questions the closed forms
+cannot:
+
+``paragon``
+    The homogeneous 321-node AFRL machine (the baseline; the tuner must
+    reproduce Table 7 on it).
+``fat_nodes``
+    Every node carries three i860s used as a small shared-memory
+    multiprocessor (the ruggedized machine's node on the big mesh).
+``fast_links``
+    A modern interconnect: message startup, per-byte, and per-hop costs
+    all divided by 10, with compute unchanged — communication-bound
+    assignments tilt toward compute-bound ones.
+``gpu_nodes``
+    The first 32 mesh nodes compute 8x faster (accelerator-class parts in
+    the front racks).  Contiguous rank placement puts the Doppler task —
+    the pipeline's front stage — on them first.
+``legacy_front``
+    The first 16 mesh nodes compute at a quarter rate (aged hardware at
+    the front of the mesh).  The homogeneous equations underallocate
+    whatever lands there, which is exactly the case the
+    simulation-in-the-loop tuner is built to catch.
+
+Each factory takes keyword knobs so tests and benchmarks can scale a
+scenario down to tiny meshes; :data:`MACHINE_SCENARIOS` holds the
+zero-argument paper-scale forms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.machine.cost_model import NetworkCostModel
+from repro.machine.node import NodeModel
+from repro.machine.paragon import (
+    PARAGON_NETWORK,
+    Machine,
+    SpeedRegion,
+    afrl_paragon,
+)
+
+
+def fat_nodes(processors_per_node: int = 3, smp_efficiency: float = 0.85) -> Machine:
+    """The AFRL mesh with every node a small shared-memory multiprocessor."""
+    base = afrl_paragon()
+    return dataclasses.replace(
+        base,
+        node=NodeModel(
+            rates=base.node.rates,
+            processors_per_node=processors_per_node,
+            smp_efficiency=smp_efficiency,
+        ),
+        name=f"fat-node Paragon ({processors_per_node} i860s/node)",
+    )
+
+
+def fast_links(factor: float = 10.0) -> Machine:
+    """The AFRL machine with an interconnect ``factor``x cheaper end to end."""
+    if factor <= 0:
+        raise ConfigurationError(f"link speedup factor must be positive, got {factor}")
+    return dataclasses.replace(
+        afrl_paragon(),
+        network_cost=NetworkCostModel(
+            startup_s=PARAGON_NETWORK.startup_s / factor,
+            per_byte_s=PARAGON_NETWORK.per_byte_s / factor,
+            per_hop_s=PARAGON_NETWORK.per_hop_s / factor,
+        ),
+        name=f"fast-link Paragon ({factor:g}x interconnect)",
+    )
+
+
+def gpu_nodes(count: int = 32, factor: float = 8.0) -> Machine:
+    """The AFRL machine with ``count`` accelerator-class front nodes."""
+    return dataclasses.replace(
+        afrl_paragon(),
+        speed_regions=(SpeedRegion(0, count, factor),),
+        name=f"GPU-front Paragon ({count} nodes at {factor:g}x)",
+    )
+
+
+def legacy_front(count: int = 16, factor: float = 0.25) -> Machine:
+    """The AFRL machine with ``count`` aged front nodes at ``factor`` rate."""
+    return dataclasses.replace(
+        afrl_paragon(),
+        speed_regions=(SpeedRegion(0, count, factor),),
+        name=f"legacy-front Paragon ({count} nodes at {factor:g}x)",
+    )
+
+
+#: Named scenario -> zero-argument factory, at paper scale.
+MACHINE_SCENARIOS = {
+    "paragon": afrl_paragon,
+    "fat_nodes": fat_nodes,
+    "fast_links": fast_links,
+    "gpu_nodes": gpu_nodes,
+    "legacy_front": legacy_front,
+}
+
+
+def scenario_names() -> list[str]:
+    """All known scenario names, sorted."""
+    return sorted(MACHINE_SCENARIOS)
+
+
+def machine_scenario(name: str) -> Machine:
+    """Build the named machine scenario."""
+    try:
+        factory = MACHINE_SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine scenario {name!r}; known: "
+            f"{', '.join(scenario_names())}"
+        ) from None
+    return factory()

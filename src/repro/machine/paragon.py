@@ -34,12 +34,46 @@ PARAGON_RATES = ComputeRateTable()
 PARAGON_PACKING = PackingCostModel(contiguous_per_byte_s=8.0e-9, strided_per_byte_s=62.0e-9)
 
 
+@dataclass(frozen=True)
+class SpeedRegion:
+    """A contiguous range of mesh node ids with a compute-rate multiplier.
+
+    ``factor > 1`` models faster nodes (accelerator-class parts, newer
+    CPUs); ``factor < 1`` models slower ones (aged or thermally throttled
+    hardware).  The multiplier applies to *compute only* — pack/unpack and
+    the interconnect remain per-node-uniform cost models.  Regions may
+    overlap; overlapping factors multiply.
+    """
+
+    start: int
+    stop: int
+    factor: float
+
+    def __post_init__(self):
+        if self.start < 0 or self.stop <= self.start:
+            raise MachineError(
+                f"speed region must cover a non-empty node range, "
+                f"got [{self.start}, {self.stop})"
+            )
+        if not self.factor > 0:
+            raise MachineError(
+                f"speed factor must be positive, got {self.factor}"
+            )
+
+    def covers(self, node: int) -> bool:
+        return self.start <= node < self.stop
+
+
 @dataclass
 class Machine:
     """A parallel machine: mesh + node model + cost models.
 
     A :class:`Machine` is a *description*; binding it to a simulator via
     :meth:`build_network` produces the live, stateful network.
+
+    ``speed_regions`` makes the machine heterogeneous: each region scales
+    the compute rate of a contiguous block of mesh nodes.  An empty tuple
+    (the default) is the homogeneous machine the paper evaluates.
     """
 
     mesh: Mesh2D
@@ -47,10 +81,44 @@ class Machine:
     network_cost: NetworkCostModel = field(default_factory=lambda: PARAGON_NETWORK)
     packing_cost: PackingCostModel = field(default_factory=lambda: PARAGON_PACKING)
     name: str = "machine"
+    speed_regions: tuple[SpeedRegion, ...] = ()
 
     @property
     def num_nodes(self) -> int:
         return self.mesh.num_nodes
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether any node runs at other than the calibrated rate."""
+        return any(region.factor != 1.0 for region in self.speed_regions)
+
+    def node_speed(self, node: int) -> float:
+        """Compute-rate multiplier of mesh node ``node`` (1.0 = calibrated)."""
+        factor = 1.0
+        for region in self.speed_regions:
+            if region.covers(node):
+                factor *= region.factor
+        return factor
+
+    def min_speed(self, start: int, stop: int) -> float:
+        """Slowest node's factor over the node range ``[start, stop)``.
+
+        A task partitioned evenly over that range finishes a CPI when its
+        slowest node does, so this is the factor the analytic model
+        applies to the whole block.  ``node_speed`` is piecewise constant
+        with breakpoints only at region edges, so probing the range start
+        plus every in-range edge is exact.
+        """
+        if stop <= start:
+            raise MachineError(f"empty node range [{start}, {stop})")
+        if not self.speed_regions:
+            return 1.0
+        probes = {start}
+        for region in self.speed_regions:
+            for edge in (region.start, region.stop):
+                if start < edge < stop:
+                    probes.add(edge)
+        return min(self.node_speed(node) for node in probes)
 
     def check_node_budget(self, nodes_needed: int) -> None:
         """Raise if an experiment asks for more nodes than the machine has."""

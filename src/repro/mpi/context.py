@@ -35,8 +35,16 @@ class RankContext:
         self.sim = world.sim
         self.machine = world.machine
         # Hot-path bindings: compute/copy charges happen several times per
-        # rank per CPI, so resolve the cost callables once.
-        self._compute_time = world.machine.node.compute_time
+        # rank per CPI, so resolve the cost callables once.  On a
+        # heterogeneous machine this rank's compute is dilated by its
+        # node's speed factor; factor-1.0 nodes keep the node model's own
+        # bound method, so homogeneous runs stay bit-identical.
+        compute_time = world.machine.node.compute_time
+        speed = world.machine.node_speed(self.node)
+        if speed != 1.0:
+            def compute_time(kernel, flops, _base=compute_time, _speed=speed):
+                return _base(kernel, flops) / _speed
+        self._compute_time = compute_time
         self._copy_time = world.machine.packing_cost.copy_time
         self._pooled_timeout = world.sim.pooled_timeout
         self._compute_names: dict = {}

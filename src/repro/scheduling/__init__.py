@@ -13,7 +13,12 @@ response time."  This package provides:
   with convex decreasing ``T_i``) and exhaustive search for small budgets;
 * :mod:`repro.scheduling.bottleneck` — post-run analysis of a
   :class:`~repro.core.pipeline.PipelineResult`: which task limits
-  throughput, and where idle time hides (the Table 10 effect).
+  throughput, and where idle time hides (the Table 10 effect);
+* :mod:`repro.scheduling.pareto` — throughput-vs-latency Pareto fronts as
+  versioned JSON artifacts;
+* :mod:`repro.scheduling.tuner` — simulation-in-the-loop assignment
+  search: analytic prescreen, then cached/parallel simulator refinement,
+  heterogeneous-machine aware.
 """
 
 from repro.scheduling.model import AnalyticPipelineModel, TaskTimeModel
@@ -24,6 +29,13 @@ from repro.scheduling.optimizer import (
 )
 from repro.scheduling.bottleneck import BottleneckReport, analyze_bottleneck
 from repro.scheduling.reallocation import Move, ReallocationPlan, plan_reallocation
+from repro.scheduling.pareto import (
+    PARETO_SCHEMA,
+    ParetoFront,
+    ParetoPoint,
+    pareto_front,
+)
+from repro.scheduling.tuner import TuneResult, TunerConfig, tune
 
 __all__ = [
     "Move",
@@ -36,4 +48,11 @@ __all__ = [
     "exhaustive_search",
     "BottleneckReport",
     "analyze_bottleneck",
+    "PARETO_SCHEMA",
+    "ParetoFront",
+    "ParetoPoint",
+    "pareto_front",
+    "TunerConfig",
+    "TuneResult",
+    "tune",
 ]

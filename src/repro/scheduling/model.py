@@ -91,12 +91,20 @@ class TaskTimeModel:
     #: the per-node *count* of peers stays roughly the peer task size).
     startup_messages: int
 
-    def seconds(self, nodes: int, machine: Machine) -> float:
-        """Evaluate ``T_i(nodes)``."""
+    def seconds(self, nodes: int, machine: Machine, speed: float = 1.0) -> float:
+        """Evaluate ``T_i(nodes)``.
+
+        ``speed`` scales the *compute* term only (a heterogeneous block's
+        slowest-node factor); pack/unpack and the wire are per-node-uniform.
+        Multiplying by the default 1.0 is exact in floating point, so
+        homogeneous predictions are bit-identical to the speed-less form.
+        """
         if nodes < 1:
             raise ConfigurationError(f"nodes must be >= 1, got {nodes}")
+        if not speed > 0:
+            raise ConfigurationError(f"speed factor must be positive, got {speed}")
         t = machine.node.rates.time_for(self.rate_key, self.flops) / (
-            nodes * machine.node.smp_speedup
+            nodes * machine.node.smp_speedup * speed
         )
         pack_cost = machine.packing_cost
         for nbytes, strided in self.pack:
@@ -119,10 +127,12 @@ class AnalyticPipelineModel:
     def __init__(self, params: STAPParams, machine: Optional[Machine] = None):
         self.params = params
         self.machine = machine or afrl_paragon()
-        # (task, nodes) -> seconds.  The optimizer's greedy/exhaustive
-        # searches re-evaluate the same few hundred points thousands of
-        # times; the model is pure so memoizing is free accuracy-wise.
-        self._seconds_memo: Dict[tuple[str, int], float] = {}
+        # (task, nodes, speed) -> seconds.  The optimizer's greedy/
+        # exhaustive searches re-evaluate the same few hundred points
+        # thousands of times; the model is pure so memoizing is free
+        # accuracy-wise.  Heterogeneous machines contribute only a
+        # handful of distinct speed factors, so the memo stays small.
+        self._seconds_memo: Dict[tuple[str, int, float], float] = {}
 
     @cached_property
     def task_models(self) -> Dict[str, TaskTimeModel]:
@@ -157,14 +167,35 @@ class AnalyticPipelineModel:
         return models
 
     # -- predictions --------------------------------------------------------------
-    def task_seconds(self, task: str, nodes: int) -> float:
-        """Predicted ``T_i`` for one task at a node count (memoized)."""
-        key = (task, nodes)
+    def task_seconds(self, task: str, nodes: int, speed: float = 1.0) -> float:
+        """Predicted ``T_i`` for one task at a node count (memoized).
+
+        ``speed`` is the compute-rate factor of the task's node block
+        (1.0 on a homogeneous machine).
+        """
+        key = (task, nodes, speed)
         seconds = self._seconds_memo.get(key)
         if seconds is None:
-            seconds = self.task_models[task].seconds(nodes, self.machine)
+            seconds = self.task_models[task].seconds(nodes, self.machine, speed)
             self._seconds_memo[key] = seconds
         return seconds
+
+    def task_speeds(self, assignment: Assignment) -> Dict[str, float]:
+        """Per-task compute-speed factor under contiguous rank placement.
+
+        Rank ``r`` runs on mesh node ``r``, so a task's block is the node
+        range starting at its rank offset; the block's pace is its
+        slowest node (:meth:`~repro.machine.paragon.Machine.min_speed`).
+        """
+        if not self.machine.speed_regions:
+            return {task: 1.0 for task in TASK_NAMES}
+        offsets = assignment.rank_offsets()
+        return {
+            task: self.machine.min_speed(
+                offsets[task], offsets[task] + assignment.count_of(task)
+            )
+            for task in TASK_NAMES
+        }
 
     def task_times(self, assignment: Assignment) -> Dict[str, float]:
         """Predicted ``T_i`` for every task of an assignment."""
@@ -191,3 +222,33 @@ class AnalyticPipelineModel:
         """The task predicted to limit throughput."""
         times = self.task_times(assignment)
         return max(times, key=times.get)
+
+    # -- heterogeneity-aware predictions -------------------------------------------
+    # ``throughput``/``latency`` above ARE the paper's equations (1)-(2):
+    # every node identical.  The ``predicted_*`` forms additionally apply
+    # each task's node-block speed factor, which is what the tuner's
+    # analytic prescreen ranks candidates by.  On a homogeneous machine
+    # the two families agree bit for bit.
+    def hetero_task_times(self, assignment: Assignment) -> Dict[str, float]:
+        """``T_i`` with each task's contiguous-block speed factor applied."""
+        speeds = self.task_speeds(assignment)
+        return {
+            task: self.task_seconds(
+                task, assignment.count_of(task), speeds[task]
+            )
+            for task in TASK_NAMES
+        }
+
+    def predicted_throughput(self, assignment: Assignment) -> float:
+        """Equation (1) on the heterogeneity-aware task times."""
+        return 1.0 / max(self.hetero_task_times(assignment).values())
+
+    def predicted_latency(self, assignment: Assignment) -> float:
+        """Equation (2) on the heterogeneity-aware task times."""
+        t = self.hetero_task_times(assignment)
+        return (
+            t["doppler"]
+            + max(t["easy_beamform"], t["hard_beamform"])
+            + t["pulse_compression"]
+            + t["cfar"]
+        )

@@ -17,6 +17,7 @@ Two objectives, matching Section 4.1.2's tradeoff discussion:
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Optional
 
 from repro.core.assignment import Assignment, TASK_NAMES
@@ -137,11 +138,15 @@ def exhaustive_search(
     budget: int,
     objective: str = "throughput",
     max_per_task: int = 8,
+    max_combinations: int = 4_000_000,
 ) -> Assignment:
     """Brute-force search over all assignments (tiny budgets only).
 
     Used by tests to certify the greedy allocator; cost grows as
-    ``max_per_task ** 7``, so keep budgets small.
+    ``max_per_task ** 7``, so keep budgets small.  The search refuses to
+    start when the candidate grid exceeds ``max_combinations`` — raising
+    ``max_per_task`` a little is easy to do and multiplies the runtime by
+    hours, so the failure names the count and the knob instead of hanging.
     """
     if objective not in ("throughput", "latency"):
         raise AssignmentError(f"unknown objective {objective!r}")
@@ -150,6 +155,14 @@ def exhaustive_search(
     spans = [
         range(1, min(max_per_task, limits[task]) + 1) for task in TASK_NAMES
     ]
+    combinations = math.prod(len(span) for span in spans)
+    if combinations > max_combinations:
+        raise AssignmentError(
+            f"exhaustive search would enumerate {combinations} candidate "
+            f"assignments, over the max_combinations limit of "
+            f"{max_combinations}; lower max_per_task or raise the limit "
+            f"explicitly"
+        )
     for combo in itertools.product(*spans):
         if sum(combo) > budget:
             continue

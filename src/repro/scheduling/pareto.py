@@ -1,0 +1,236 @@
+"""Throughput/latency Pareto fronts over processor assignments.
+
+Section 4.1.2 frames assignment as a two-objective problem — maximize
+equation-(1) throughput, minimize equation-(2) latency — and the paper
+resolves it by hand (Table 7 picks one point per budget).  The bi-criteria
+pipeline-mapping literature instead reports the whole *Pareto front*: the
+set of assignments no other assignment beats on both axes.  This module
+is the front's data model; :mod:`repro.scheduling.tuner` populates it.
+
+A front is a versioned JSON artifact (:data:`PARETO_SCHEMA`) so tuning
+results are durable and diffable: ``ParetoFront.save``/``load`` round-trip
+every field, and :meth:`ParetoFront.covers` is the validation predicate
+for the paper's Table 7 picks ("on or behind the front").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.core.assignment import Assignment, TASK_NAMES
+from repro.errors import ConfigurationError
+from repro.version import __version__
+
+#: Bump when the artifact layout changes; ``from_dict`` rejects others.
+PARETO_SCHEMA = 1
+
+#: Where a point's throughput/latency numbers came from.
+SOURCES = ("analytic", "simulated")
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One assignment with its throughput/latency coordinates.
+
+    ``source`` records whether the coordinates are analytic predictions
+    or full-machine-model simulation measurements; simulated points carry
+    the analytic prediction alongside (``predicted_*``) so prediction
+    error is visible in the artifact.
+    """
+
+    counts: tuple[int, ...]
+    throughput: float
+    latency: float
+    source: str = "analytic"
+    name: str = ""
+    predicted_throughput: Optional[float] = None
+    predicted_latency: Optional[float] = None
+
+    def __post_init__(self):
+        if len(self.counts) != len(TASK_NAMES):
+            raise ConfigurationError(
+                f"expected {len(TASK_NAMES)} task counts, got {self.counts!r}"
+            )
+        object.__setattr__(self, "counts", tuple(int(c) for c in self.counts))
+        if self.source not in SOURCES:
+            raise ConfigurationError(
+                f"unknown point source {self.source!r}; expected one of {SOURCES}"
+            )
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(self.counts)
+
+    def assignment(self) -> Assignment:
+        return Assignment(*self.counts, name=self.name or f"pareto{self.counts}")
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weakly better on both axes, strictly better on at least one."""
+        return (
+            self.throughput >= other.throughput
+            and self.latency <= other.latency
+            and (self.throughput > other.throughput or self.latency < other.latency)
+        )
+
+
+def pareto_front(points: Iterable[ParetoPoint]) -> list[ParetoPoint]:
+    """The non-dominated subset, sorted by throughput descending.
+
+    Duplicates (equal coordinates) keep one representative.  The sweep is
+    the standard sort-then-scan: after sorting by throughput descending
+    (latency, then counts, as deterministic tie-breaks), a point is on the
+    front iff its latency strictly improves on everything before it.
+    """
+    front: list[ParetoPoint] = []
+    best_latency = float("inf")
+    for point in sorted(
+        points, key=lambda p: (-p.throughput, p.latency, p.counts)
+    ):
+        if point.latency < best_latency:
+            front.append(point)
+            best_latency = point.latency
+    return front
+
+
+@dataclass
+class ParetoFront:
+    """A versioned throughput-vs-latency front plus its provenance."""
+
+    points: list[ParetoPoint]
+    budget: int
+    objective: str = "pareto"
+    machine: str = ""
+    params_label: str = ""
+    num_cpis: int = 0
+    #: Free-form provenance (baseline comparison, tuner counters, ...).
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, points: Sequence[ParetoPoint], **meta) -> "ParetoFront":
+        """Prune ``points`` to the non-dominated set and wrap them."""
+        return cls(points=pareto_front(points), **meta)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    # -- picks -------------------------------------------------------------------
+    def best_throughput(self) -> ParetoPoint:
+        """The highest-throughput point (the front's first)."""
+        if not self.points:
+            raise ConfigurationError("empty Pareto front has no best point")
+        return self.points[0]
+
+    def best_latency(self, min_throughput: Optional[float] = None) -> ParetoPoint:
+        """The lowest-latency point, optionally above a throughput floor.
+
+        Falls back to the overall lowest-latency point when no front
+        point clears the floor.
+        """
+        if not self.points:
+            raise ConfigurationError("empty Pareto front has no best point")
+        if min_throughput is not None:
+            eligible = [p for p in self.points if p.throughput >= min_throughput]
+            if eligible:
+                return min(eligible, key=lambda p: p.latency)
+        return self.points[-1]
+
+    # -- relations ---------------------------------------------------------------
+    def covers(self, throughput: float, latency: float,
+               rel_tol: float = 1e-9) -> bool:
+        """Whether ``(throughput, latency)`` is on or behind the front.
+
+        True iff some front point weakly dominates it (within a relative
+        tolerance absorbing last-ulp noise).  This is the Table 7
+        validation predicate: the paper's pick must not strictly beat the
+        tuner's front on both axes.
+        """
+        for point in self.points:
+            if (
+                point.throughput >= throughput * (1.0 - rel_tol)
+                and point.latency <= latency * (1.0 + rel_tol)
+            ):
+                return True
+        return False
+
+    # -- serialization -----------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": PARETO_SCHEMA,
+            "version": __version__,
+            "budget": self.budget,
+            "objective": self.objective,
+            "machine": self.machine,
+            "params": self.params_label,
+            "num_cpis": self.num_cpis,
+            "extra": self.extra,
+            "points": [
+                {
+                    "counts": list(p.counts),
+                    "name": p.name,
+                    "throughput": p.throughput,
+                    "latency": p.latency,
+                    "source": p.source,
+                    "predicted_throughput": p.predicted_throughput,
+                    "predicted_latency": p.predicted_latency,
+                }
+                for p in self.points
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "ParetoFront":
+        if not isinstance(document, dict) or document.get("schema") != PARETO_SCHEMA:
+            raise ConfigurationError(
+                f"not a schema-{PARETO_SCHEMA} Pareto front document "
+                f"(schema={document.get('schema') if isinstance(document, dict) else None!r})"
+            )
+        points = [
+            ParetoPoint(
+                counts=tuple(entry["counts"]),
+                throughput=entry["throughput"],
+                latency=entry["latency"],
+                source=entry.get("source", "analytic"),
+                name=entry.get("name", ""),
+                predicted_throughput=entry.get("predicted_throughput"),
+                predicted_latency=entry.get("predicted_latency"),
+            )
+            for entry in document.get("points", [])
+        ]
+        return cls(
+            points=points,
+            budget=document.get("budget", 0),
+            objective=document.get("objective", "pareto"),
+            machine=document.get("machine", ""),
+            params_label=document.get("params", ""),
+            num_cpis=document.get("num_cpis", 0),
+            extra=document.get("extra", {}),
+        )
+
+    def save(self, path) -> Path:
+        """Atomically publish the front as JSON (tmp + ``os.replace``)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, indent=2)
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path) -> "ParetoFront":
+        return cls.from_dict(json.loads(Path(path).read_text()))

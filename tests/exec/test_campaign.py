@@ -72,11 +72,38 @@ class TestPointSpec:
         with pytest.raises(ConfigurationError):
             point_spec(point)
 
-    def test_custom_machine_has_no_spec(self):
-        from repro.machine import afrl_paragon
+    def test_custom_machine_round_trips(self):
+        # Mesh2D has no value equality, so compare by cache key (which
+        # fingerprints every cost model and the speed regions).
+        from dataclasses import replace
 
-        with pytest.raises(ConfigurationError):
-            point_spec(tiny_point(machine=afrl_paragon()))
+        from repro.machine import SpeedRegion, afrl_paragon, fat_nodes
+
+        for machine in (
+            afrl_paragon(),
+            fat_nodes(),
+            replace(
+                afrl_paragon(),
+                speed_regions=(SpeedRegion(0, 4, 0.25), SpeedRegion(2, 6, 2.0)),
+            ),
+        ):
+            point = tiny_point(machine=machine)
+            spec = json.loads(json.dumps(point_spec(point)))
+            rebuilt = point_from_spec(spec)
+            assert cache_key(rebuilt) == cache_key(point)
+            assert rebuilt.machine.name == machine.name
+            assert rebuilt.machine.speed_regions == machine.speed_regions
+
+    def test_custom_machine_campaign_resumes_from_disk(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.machine import SpeedRegion, afrl_paragon
+
+        het = replace(afrl_paragon(), speed_regions=(SpeedRegion(0, 2, 0.5),))
+        point = tiny_point(machine=het, num_cpis=8)
+        CampaignStore(tmp_path, name="het").declare([point])
+        resumed = load_campaign(tmp_path)
+        assert [cache_key(p) for p in resumed.points] == [cache_key(point)]
 
 
 class TestCampaignStore:

@@ -1,0 +1,155 @@
+"""Heterogeneous machines: speed regions, scenarios, cache-key neutrality."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import STAPParams
+from repro.core.assignment import Assignment
+from repro.errors import ConfigurationError, MachineError
+from repro.exec import SimPoint, cache_key
+from repro.machine import (
+    MACHINE_SCENARIOS,
+    SpeedRegion,
+    afrl_paragon,
+    fast_links,
+    fat_nodes,
+    gpu_nodes,
+    legacy_front,
+    machine_scenario,
+    scenario_names,
+)
+
+TINY_COUNTS = (2, 1, 2, 1, 1, 1, 1)
+
+
+class TestSpeedRegion:
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            SpeedRegion(4, 4, 2.0)  # empty range
+        with pytest.raises(MachineError):
+            SpeedRegion(-1, 4, 2.0)
+        with pytest.raises(MachineError):
+            SpeedRegion(0, 4, 0.0)
+
+    def test_node_speed_multiplies_overlaps(self):
+        machine = replace(
+            afrl_paragon(),
+            speed_regions=(SpeedRegion(0, 8, 2.0), SpeedRegion(4, 12, 0.5)),
+        )
+        assert machine.node_speed(0) == 2.0
+        assert machine.node_speed(4) == 1.0  # 2.0 * 0.5
+        assert machine.node_speed(10) == 0.5
+        assert machine.node_speed(20) == 1.0
+
+    def test_min_speed_is_slowest_in_range(self):
+        machine = replace(
+            afrl_paragon(),
+            speed_regions=(SpeedRegion(0, 4, 0.25), SpeedRegion(8, 16, 4.0)),
+        )
+        assert machine.min_speed(0, 4) == 0.25
+        assert machine.min_speed(0, 6) == 0.25
+        assert machine.min_speed(4, 8) == 1.0
+        assert machine.min_speed(8, 16) == 4.0
+        assert machine.min_speed(6, 10) == 1.0  # spans plain nodes
+        with pytest.raises(MachineError):
+            machine.min_speed(5, 5)
+
+    def test_is_heterogeneous(self):
+        assert not afrl_paragon().is_heterogeneous
+        assert not replace(
+            afrl_paragon(), speed_regions=(SpeedRegion(0, 4, 1.0),)
+        ).is_heterogeneous
+        assert replace(
+            afrl_paragon(), speed_regions=(SpeedRegion(0, 4, 2.0),)
+        ).is_heterogeneous
+
+
+class TestScenarios:
+    def test_registry_names(self):
+        assert scenario_names() == sorted(MACHINE_SCENARIOS)
+        assert "paragon" in scenario_names()
+
+    def test_unknown_scenario_lists_known(self):
+        with pytest.raises(ConfigurationError, match="paragon"):
+            machine_scenario("quantum_annealer")
+
+    def test_each_scenario_builds(self):
+        for name in scenario_names():
+            machine = machine_scenario(name)
+            assert machine.num_nodes >= 59  # all can run Table 7 case 3
+
+    def test_fat_nodes_speeds_compute_only(self):
+        base, fat = afrl_paragon(), fat_nodes()
+        assert fat.node.smp_speedup > base.node.smp_speedup
+        assert fat.network_cost == base.network_cost
+
+    def test_fast_links_divides_network_costs(self):
+        base, fast = afrl_paragon(), fast_links(factor=10.0)
+        assert fast.network_cost.per_byte_s == base.network_cost.per_byte_s / 10
+        assert fast.network_cost.startup_s == base.network_cost.startup_s / 10
+        assert not fast.is_heterogeneous
+
+    def test_gpu_and_legacy_are_heterogeneous(self):
+        assert gpu_nodes().is_heterogeneous
+        assert gpu_nodes(count=32, factor=8.0).node_speed(0) == 8.0
+        assert legacy_front().is_heterogeneous
+        assert legacy_front(count=16, factor=0.25).min_speed(0, 16) == 0.25
+
+
+class TestCacheKeyNeutrality:
+    def test_homogeneous_machines_keep_seed_cache_keys(self):
+        """machine=None and an explicit stock Paragon must key identically,
+        and adding an *empty* speed_regions tuple must not shift keys —
+        every pre-heterogeneity cache entry stays valid."""
+        params = STAPParams.tiny()
+        assignment = Assignment(*TINY_COUNTS, name="t")
+        none_key = cache_key(SimPoint(params, assignment))
+        stock_key = cache_key(SimPoint(params, assignment, machine=afrl_paragon()))
+        assert none_key == stock_key
+
+    def test_speed_regions_shift_cache_keys(self):
+        params = STAPParams.tiny()
+        assignment = Assignment(*TINY_COUNTS, name="t")
+        het = replace(afrl_paragon(), speed_regions=(SpeedRegion(0, 4, 0.5),))
+        assert cache_key(SimPoint(params, assignment, machine=het)) != cache_key(
+            SimPoint(params, assignment)
+        )
+        other = replace(afrl_paragon(), speed_regions=(SpeedRegion(0, 4, 0.25),))
+        assert cache_key(SimPoint(params, assignment, machine=het)) != cache_key(
+            SimPoint(params, assignment, machine=other)
+        )
+
+
+class TestSimulatedHeterogeneity:
+    def test_slow_region_slows_simulated_throughput(self):
+        from repro.exec import execute_point
+
+        params = STAPParams.tiny()
+        assignment = Assignment(*TINY_COUNTS, name="t")
+        hom = execute_point(
+            SimPoint(params, assignment, num_cpis=8), cache=None
+        ).metrics
+        het_machine = replace(
+            afrl_paragon(), speed_regions=(SpeedRegion(0, 9, 0.25),)
+        )
+        het = execute_point(
+            SimPoint(params, assignment, machine=het_machine, num_cpis=8),
+            cache=None,
+        ).metrics
+        assert het.measured_throughput < hom.measured_throughput * 0.5
+
+    def test_unit_factor_regions_are_bit_identical(self):
+        from repro.exec import execute_point
+
+        params = STAPParams.tiny()
+        assignment = Assignment(*TINY_COUNTS, name="t")
+        hom = execute_point(
+            SimPoint(params, assignment, num_cpis=8), cache=None
+        ).metrics
+        unit = replace(afrl_paragon(), speed_regions=(SpeedRegion(0, 9, 1.0),))
+        het = execute_point(
+            SimPoint(params, assignment, machine=unit, num_cpis=8), cache=None
+        ).metrics
+        assert het.measured_throughput == hom.measured_throughput
+        assert het.measured_latency == hom.measured_latency

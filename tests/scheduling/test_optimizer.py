@@ -96,3 +96,30 @@ class TestExhaustive:
     def test_infeasible_budget_rejected(self, tiny_model):
         with pytest.raises(AssignmentError):
             exhaustive_search(tiny_model, 3)
+
+    def test_combination_guard_names_the_count(self, tiny_model):
+        # 4 choices per task -> 4**7 = 16384 candidates, over a limit of 1000.
+        with pytest.raises(AssignmentError, match="16384"):
+            exhaustive_search(
+                tiny_model, 10, max_per_task=4, max_combinations=1000
+            )
+
+    def test_combination_guard_counts_grid_not_feasible_set(self, tiny_model):
+        # The guard must trip before enumeration: the feasible set under
+        # this budget is small, but the grid itself is what gets walked.
+        with pytest.raises(AssignmentError, match="max_combinations"):
+            exhaustive_search(
+                tiny_model, 7, max_per_task=6, max_combinations=10_000
+            )
+
+    def test_default_limit_admits_stock_grid(self, tiny_model):
+        # The stock call is max_per_task=8 -> 8**7 ~ 2.1M candidates; the
+        # default limit must not reject it (only *raising* the grid needs
+        # an explicit opt-in), and small grids must run unimpeded.
+        import inspect
+
+        default = inspect.signature(exhaustive_search).parameters[
+            "max_combinations"
+        ].default
+        assert default >= 8**7
+        assert exhaustive_search(tiny_model, 9, max_per_task=2).total_nodes <= 9

@@ -1,0 +1,118 @@
+"""Pareto front data model: dominance, pruning, picks, serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scheduling import PARETO_SCHEMA, ParetoFront, ParetoPoint, pareto_front
+
+
+def pt(thr, lat, counts=(1, 1, 1, 1, 1, 1, 1), **kw):
+    return ParetoPoint(counts=counts, throughput=thr, latency=lat, **kw)
+
+
+class TestParetoPoint:
+    def test_dominance_is_strict_somewhere(self):
+        a = pt(2.0, 1.0)
+        assert pt(2.0, 0.5).dominates(a)
+        assert pt(3.0, 1.0).dominates(a)
+        assert not a.dominates(a)  # equal on both axes
+        assert not pt(3.0, 2.0).dominates(a)  # trade-off, no dominance
+
+    def test_counts_validated_and_coerced(self):
+        point = ParetoPoint(counts=[1.0, 1, 1, 1, 1, 1, 1], throughput=1, latency=1)
+        assert point.counts == (1, 1, 1, 1, 1, 1, 1)
+        assert isinstance(point.counts[0], int)
+        with pytest.raises(ConfigurationError):
+            pt(1.0, 1.0, counts=(1, 2, 3))
+        with pytest.raises(ConfigurationError):
+            pt(1.0, 1.0, source="measured-on-mars")
+
+    def test_assignment_round_trip(self):
+        point = pt(1.0, 1.0, counts=(8, 4, 28, 4, 7, 4, 4))
+        assert point.assignment().counts() == (8, 4, 28, 4, 7, 4, 4)
+        assert point.total_nodes == 59
+
+
+class TestParetoFrontBuild:
+    def test_prunes_dominated_points(self):
+        front = pareto_front(
+            [pt(3.0, 3.0), pt(2.0, 1.0), pt(1.0, 0.5), pt(2.5, 3.5), pt(0.5, 2.0)]
+        )
+        assert [(p.throughput, p.latency) for p in front] == [
+            (3.0, 3.0),
+            (2.0, 1.0),
+            (1.0, 0.5),
+        ]
+
+    def test_deduplicates_equal_coordinates(self):
+        front = pareto_front([pt(1.0, 1.0), pt(1.0, 1.0)])
+        assert len(front) == 1
+
+    def test_sorted_by_throughput_descending(self):
+        front = pareto_front([pt(1.0, 0.5), pt(3.0, 2.0), pt(2.0, 1.0)])
+        assert [p.throughput for p in front] == [3.0, 2.0, 1.0]
+        assert [p.latency for p in front] == [2.0, 1.0, 0.5]
+
+    def test_picks(self):
+        front = ParetoFront.build(
+            [pt(3.0, 2.0), pt(2.0, 1.0), pt(1.0, 0.5)], budget=7
+        )
+        assert front.best_throughput().throughput == 3.0
+        assert front.best_latency().latency == 0.5
+        assert front.best_latency(min_throughput=1.5).latency == 1.0
+        # No point clears the floor -> falls back to lowest latency.
+        assert front.best_latency(min_throughput=99.0).latency == 0.5
+
+    def test_empty_front_has_no_picks(self):
+        front = ParetoFront(points=[], budget=7)
+        with pytest.raises(ConfigurationError):
+            front.best_throughput()
+
+
+class TestCovers:
+    def test_on_or_behind_the_front(self):
+        front = ParetoFront.build([pt(3.0, 2.0), pt(1.0, 0.5)], budget=7)
+        assert front.covers(3.0, 2.0)  # exactly on a point
+        assert front.covers(2.5, 2.5)  # behind
+        assert front.covers(3.0 * (1 - 1e-12), 2.0)  # within tolerance
+        assert not front.covers(3.0, 1.0)  # beats the front
+        assert not front.covers(4.0, 3.0)
+
+
+class TestSerialization:
+    def front(self):
+        return ParetoFront.build(
+            [
+                pt(3.0, 2.0, counts=(5, 1, 2, 1, 1, 1, 1), source="simulated",
+                   predicted_throughput=2.9, predicted_latency=2.1),
+                pt(1.0, 0.5, name="latency pick"),
+            ],
+            budget=12,
+            objective="pareto",
+            machine="test machine",
+            params_label="tiny",
+            num_cpis=8,
+            extra={"truncated": False},
+        )
+
+    def test_round_trip(self, tmp_path):
+        front = self.front()
+        path = front.save(tmp_path / "front.json")
+        loaded = ParetoFront.load(path)
+        assert loaded.to_dict() == front.to_dict()
+        assert loaded.points[0].predicted_throughput == 2.9
+        assert loaded.budget == 12 and loaded.num_cpis == 8
+
+    def test_artifact_is_versioned(self, tmp_path):
+        front = self.front()
+        document = json.loads((front.save(tmp_path / "f.json")).read_text())
+        assert document["schema"] == PARETO_SCHEMA
+        assert document["version"]
+
+    def test_wrong_schema_rejected(self):
+        document = self.front().to_dict()
+        document["schema"] = PARETO_SCHEMA + 1
+        with pytest.raises(ConfigurationError):
+            ParetoFront.from_dict(document)

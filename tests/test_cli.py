@@ -46,6 +46,54 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "predicted latency" in out
 
+    def test_optimize_confirm_prints_side_by_side(self, capsys):
+        assert main([
+            "optimize", "--budget", "12", "--params", "tiny",
+            "--confirm", "--cpis", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out and "simulated" in out
+        assert "confirmation run" in out
+
+    def test_tune_analytic_only(self, capsys, tmp_path):
+        front_path = tmp_path / "front.json"
+        assert main([
+            "tune", "--budget", "12", "--params", "tiny",
+            "--scenario", "legacy_front", "--sim-candidates", "0",
+            "--out", str(front_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "candidates prescreened, 0 simulated" in out
+        assert "baseline" in out
+        from repro.scheduling import ParetoFront
+
+        front = ParetoFront.load(front_path)
+        assert front.budget == 12
+        assert front.extra["baseline"]["counts"]
+
+    def test_tune_simulated_with_campaign_dir(self, capsys, tmp_path):
+        argv = [
+            "tune", "--budget", "12", "--params", "tiny",
+            "--scenario", "legacy_front", "--cpis", "8",
+            "--sim-candidates", "3", "--sim-rounds", "1",
+            "--campaign-dir", str(tmp_path / "campaign"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Warm store: the rerun simulates nothing.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated" in out
+
+    def test_tune_unknown_scenario_fails(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="paragon"):
+            main([
+                "tune", "--budget", "12", "--params", "tiny",
+                "--scenario", "warp_drive", "--sim-candidates", "0",
+            ])
+
     def test_detect(self, capsys):
         assert main(["detect", "--cpis", "2"]) == 0
         out = capsys.readouterr().out
